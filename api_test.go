@@ -1,0 +1,336 @@
+package nbody
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimulationLifecycle(t *testing.T) {
+	sim, err := New(Config{N: 32, P: 16, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", sim.Steps())
+	}
+	if sim.Report() == nil {
+		t.Fatal("no report after Run")
+	}
+	worst, err := sim.VerifySerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("parallel run deviates from serial by %g", worst)
+	}
+	// Incremental runs keep verifying.
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	worst, err = sim.VerifySerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("after incremental run: deviation %g", worst)
+	}
+}
+
+func TestCutoffSimulation(t *testing.T) {
+	sim, err := New(Config{N: 64, P: 16, C: 2, Dim: 1, Cutoff: 4, Lattice: true, DT: 5e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.cfg.resolveAlgorithm(); got != CACutoff {
+		t.Fatalf("auto algorithm = %v, want CACutoff", got)
+	}
+	if err := sim.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	worst, err := sim.VerifySerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("cutoff run deviates by %g", worst)
+	}
+}
+
+func TestAllDecompositionsAgree(t *testing.T) {
+	base := Config{N: 32, P: 16, Seed: 5}
+	var want []Particle
+	for _, alg := range []Algorithm{CAAllPairs, ParticleDecomp, ForceDecomp, NaiveAllGather} {
+		cfg := base
+		cfg.Algorithm = alg
+		if alg == CAAllPairs {
+			cfg.C = 4
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if err := sim.Run(3); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		got := sim.Particles()
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if d := got[i].Pos.Dist(want[i].Pos); d > 1e-9 {
+				t.Fatalf("%v: particle %d deviates by %g from CAAllPairs", alg, i, d)
+			}
+		}
+	}
+}
+
+func TestLennardJonesSimulation(t *testing.T) {
+	// The communication machinery is potential-agnostic: an LJ workload
+	// must verify against the serial reference through every layer, and
+	// survive a checkpoint round-trip with its parameters intact.
+	cfg := Config{
+		N: 64, P: 32, C: 2, // 16 teams: a 4x4 grid
+		Potential: LennardJonesPotential, Epsilon: 0.3, Sigma: 0.9,
+		Cutoff: 4, Dim: 2, Lattice: true, DT: 1e-4,
+		Algorithm: CACutoff,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	worst, err := sim.VerifySerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("LJ run deviates by %g", worst)
+	}
+	var buf bytes.Buffer
+	if err := sim.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := restored.Config()
+	if rc.Potential != LennardJonesPotential || rc.Epsilon != 0.3 || rc.Sigma != 0.9 {
+		t.Errorf("LJ parameters lost across checkpoint: %+v", rc)
+	}
+	if err := restored.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	worst, err = restored.VerifySerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("restored LJ run deviates by %g", worst)
+	}
+}
+
+func TestClusteredWorkloadStaysCorrect(t *testing.T) {
+	// The all-pairs algorithm deals particles to teams by ID, so a
+	// spatially clustered workload must not affect correctness (nor
+	// balance, which the report's per-rank maxima would expose).
+	sim, err := New(Config{N: 64, P: 16, C: 2, Clusters: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	worst, err := sim.VerifySerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("clustered run deviates by %g", worst)
+	}
+}
+
+func TestTrajectoryThroughAPI(t *testing.T) {
+	sim, err := New(Config{N: 16, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := NewTrajectoryWriter(&buf)
+	if err := sim.WriteFrame(tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WriteFrame(tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Frames() != 2 {
+		t.Errorf("frames = %d", tw.Frames())
+	}
+	if !strings.Contains(buf.String(), "step=2") {
+		t.Error("second frame missing step annotation")
+	}
+}
+
+func TestMidpointSimulation(t *testing.T) {
+	sim, err := New(Config{N: 64, P: 16, Algorithm: Midpoint, Dim: 1, Cutoff: 4, Lattice: true, DT: 5e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	worst, err := sim.VerifySerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("midpoint run deviates by %g", worst)
+	}
+	// Midpoint and CA cutoff are independent implementations; they must
+	// agree through the public API too.
+	ca, err := New(Config{N: 64, P: 16, Algorithm: CACutoff, Dim: 1, Cutoff: 4, Lattice: true, DT: 5e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	a, b := sim.Particles(), ca.Particles()
+	for i := range a {
+		if d := a[i].Pos.Dist(b[i].Pos); d > 1e-9 {
+			t.Fatalf("particle %d: midpoint and CA cutoff differ by %g", i, d)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no particles", Config{}},
+		{"bad dim", Config{N: 10, Dim: 3}},
+		{"negative cutoff", Config{N: 10, Cutoff: -1}},
+		{"cutoff beyond box", Config{N: 10, Cutoff: 100}},
+		{"cutoff alg without cutoff", Config{N: 10, Algorithm: CACutoff}},
+		{"c beyond sqrt p", Config{N: 32, P: 8, C: 4}},
+		{"teams not dividing n", Config{N: 30, P: 16, C: 2}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRunNegativeSteps(t *testing.T) {
+	sim, err := New(Config{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(-1); err == nil {
+		t.Error("negative steps should error")
+	}
+}
+
+func TestParticlesReturnsCopy(t *testing.T) {
+	sim, err := New(Config{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sim.Particles()
+	ps[0].Pos.X = 12345
+	if sim.Particles()[0].Pos.X == 12345 {
+		t.Error("Particles exposed internal state")
+	}
+}
+
+func TestAutotuneC(t *testing.T) {
+	best, results, err := AutotuneC(Config{N: 64, P: 16}, 2, []int{1, 2, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 && best != 2 && best != 4 {
+		t.Errorf("best c = %d, want a feasible candidate", best)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.C == 5 && r.Err == nil {
+			t.Error("c=5 does not divide p=16; expected an error")
+		}
+		if r.C != 5 && r.Err != nil {
+			t.Errorf("c=%d unexpectedly failed: %v", r.C, r.Err)
+		}
+	}
+	if _, _, err := AutotuneC(Config{N: 64, P: 16}, 1, []int{3}); err == nil {
+		t.Error("all-infeasible candidates should error")
+	}
+}
+
+func TestPredictFacade(t *testing.T) {
+	b, err := Predict(Prediction{Machine: Hopper, P: 24576, N: 196608, C: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() <= 0 {
+		t.Error("non-positive predicted time")
+	}
+	eff, err := PredictEfficiency(Prediction{Machine: Hopper, P: 24576, N: 196608, C: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 0.5 || eff > 1 {
+		t.Errorf("efficiency %g implausible", eff)
+	}
+	if _, err := Predict(Prediction{Machine: "cray-zz", P: 4, N: 4, C: 1}); err == nil {
+		t.Error("unknown machine should error")
+	}
+	if _, err := Predict(Prediction{P: 16, N: 64, C: 1, CutoffFrac: 0.25, Dim: 3}); err == nil {
+		t.Error("bad dim should error")
+	}
+}
+
+func TestFigureFacade(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 14 {
+		t.Fatalf("FigureIDs = %v", ids)
+	}
+	tbl, err := Figure("2b")
+	if err != nil || !strings.Contains(tbl, "Hopper") {
+		t.Fatalf("Figure 2b: %v\n%s", err, tbl)
+	}
+	csv, err := FigureCSV("3a")
+	if err != nil || !strings.Contains(csv, "cores") {
+		t.Fatalf("FigureCSV 3a: %v", err)
+	}
+	claims, err := PaperClaims()
+	if err != nil || !strings.Contains(claims, "99.5") {
+		t.Fatalf("PaperClaims: %v\n%s", err, claims)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, a := range []Algorithm{Auto, CAAllPairs, CACutoff, ParticleDecomp, ForceDecomp, NaiveAllGather} {
+		if a.String() == "" || strings.HasPrefix(a.String(), "Algorithm(") {
+			t.Errorf("missing name for %d", int(a))
+		}
+	}
+	if Algorithm(99).String() == "" {
+		t.Error("unknown algorithm should still render")
+	}
+}

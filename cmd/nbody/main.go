@@ -1,0 +1,199 @@
+// Command nbody runs a particle simulation with one of the paper's
+// parallel decompositions on the goroutine message-passing runtime and
+// prints the per-phase communication report.
+//
+// Example:
+//
+//	nbody -n 1024 -p 64 -c 4 -steps 20 -verify
+//	nbody -n 4096 -p 64 -c 2 -dim 1 -cutoff 4 -steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	nbody "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nbody: ")
+	var (
+		n           = flag.Int("n", 1024, "number of particles")
+		p           = flag.Int("p", 16, "number of ranks (goroutines)")
+		c           = flag.Int("c", 1, "replication factor")
+		dim         = flag.Int("dim", 2, "spatial dimension (1 or 2)")
+		cutoff      = flag.Float64("cutoff", 0, "cutoff radius (0 = all pairs)")
+		steps       = flag.Int("steps", 10, "timesteps to run")
+		dt          = flag.Float64("dt", 1e-3, "timestep length")
+		boxL        = flag.Float64("box", 16, "box side length")
+		seed        = flag.Uint64("seed", 1, "init seed")
+		algName     = flag.String("alg", "auto", "algorithm: auto, ca-all-pairs, ca-cutoff, particle, force, naive, midpoint")
+		boundary    = flag.String("boundary", "reflective", "boundary condition: reflective or periodic")
+		collectives = flag.String("collectives", "tree", "collective algorithm: tree, flat, ring")
+		lattice     = flag.Bool("lattice", false, "initialize particles on a jittered lattice")
+		verify      = flag.Bool("verify", false, "verify against the serial reference after the run")
+		observe     = flag.Int("observe", 0, "sample energies every N steps and print the series")
+		trajFile    = flag.String("traj", "", "write an XYZ trajectory to this file (a frame per -observe interval, or start/end)")
+		saveFile    = flag.String("save", "", "write a checkpoint to this file after the run")
+		loadFile    = flag.String("load", "", "resume from a checkpoint file (overrides most flags)")
+	)
+	flag.Parse()
+
+	cfg := nbody.Config{
+		N: *n, P: *p, C: *c, Dim: *dim, Cutoff: *cutoff,
+		DT: *dt, BoxLength: *boxL, Seed: *seed, Lattice: *lattice,
+	}
+	switch *algName {
+	case "auto":
+		cfg.Algorithm = nbody.Auto
+	case "ca-all-pairs":
+		cfg.Algorithm = nbody.CAAllPairs
+	case "ca-cutoff":
+		cfg.Algorithm = nbody.CACutoff
+	case "particle":
+		cfg.Algorithm = nbody.ParticleDecomp
+	case "force":
+		cfg.Algorithm = nbody.ForceDecomp
+	case "naive":
+		cfg.Algorithm = nbody.NaiveAllGather
+	case "midpoint":
+		cfg.Algorithm = nbody.Midpoint
+	default:
+		log.Fatalf("unknown -alg %q", *algName)
+	}
+	switch *boundary {
+	case "reflective":
+		cfg.Boundary = nbody.Reflective
+	case "periodic":
+		cfg.Boundary = nbody.Periodic
+	default:
+		log.Fatalf("unknown -boundary %q", *boundary)
+	}
+	switch *collectives {
+	case "tree":
+		cfg.Collectives = nbody.Tree
+	case "flat":
+		cfg.Collectives = nbody.Flat
+	case "ring":
+		cfg.Collectives = nbody.Ring
+	default:
+		log.Fatalf("unknown -collectives %q", *collectives)
+	}
+
+	var sim *nbody.Simulation
+	var err error
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err = nbody.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = sim.Config()
+		fmt.Printf("resumed from %s at step %d\n", *loadFile, sim.Steps())
+	} else {
+		sim, err = nbody.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var traj *nbody.TrajectoryWriter
+	if *trajFile != "" {
+		f, err := os.Create(*trajFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := traj.Flush(); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trajectory (%d frames) written to %s\n", traj.Frames(), *trajFile)
+		}()
+		traj = nbody.NewTrajectoryWriter(f)
+		if err := sim.WriteFrame(traj); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	if *observe > 0 {
+		fmt.Printf("%-8s %12s %12s %12s %12s\n", "step", "kinetic", "potential", "total", "temperature")
+		for done := 0; done < *steps; {
+			chunk := *observe
+			if done+chunk > *steps {
+				chunk = *steps - done
+			}
+			if err := sim.Run(chunk); err != nil {
+				log.Fatal(err)
+			}
+			done += chunk
+			s := sim.Observe()
+			fmt.Printf("%-8d %12.6f %12.6f %12.6f %12.6f\n", s.Step, s.Kinetic, s.Potential, s.Total, s.Temperature)
+			if traj != nil {
+				if err := sim.WriteFrame(traj); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	} else {
+		if err := sim.Run(*steps); err != nil {
+			log.Fatal(err)
+		}
+		if traj != nil {
+			if err := sim.WriteFrame(traj); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("algorithm=%v p=%d c=%d n=%d steps=%d dim=%d cutoff=%g\n",
+		cfg.Algorithm, cfg.P, cfg.C, cfg.N, *steps, cfg.Dim, cfg.Cutoff)
+	fmt.Printf("wall time: %v (%v/step)\n\n", elapsed, elapsed/time.Duration(max(1, *steps)))
+	fmt.Print(sim.Report())
+
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveFile)
+	}
+
+	if *verify {
+		worst, err := sim.VerifySerial()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nverification vs. serial reference: worst deviation %.3g\n", worst)
+		if worst > 1e-9 {
+			fmt.Println("verification FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("verification OK")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+// Command sweep measures real wall-clock execution of the
+// communication-avoiding algorithm over a range of replication factors
+// on the goroutine runtime — the laptop-scale counterpart of the paper's
+// Figure 2 — and can also autotune c, the strategy the paper suggests as
+// future work.
+//
+// Example:
+//
+//	sweep -n 2048 -p 64 -cs 1,2,4,8 -steps 5
+//	sweep -n 4096 -p 64 -dim 1 -cutoff 4 -cs 1,2,4 -steps 5
+//	sweep -n 2048 -p 64 -autotune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	nbody "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		n        = flag.Int("n", 2048, "number of particles")
+		p        = flag.Int("p", 64, "number of ranks")
+		dim      = flag.Int("dim", 2, "spatial dimension")
+		cutoff   = flag.Float64("cutoff", 0, "cutoff radius (0 = all pairs)")
+		steps    = flag.Int("steps", 5, "timesteps per configuration")
+		csFlag   = flag.String("cs", "1,2,4,8", "comma-separated replication factors")
+		autotune = flag.Bool("autotune", false, "pick c automatically instead of sweeping")
+	)
+	flag.Parse()
+
+	cfg := nbody.Config{N: *n, P: *p, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0}
+
+	if *autotune {
+		best, results, err := nbody.AutotuneC(cfg, *steps, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %14s\n", "c", "time/step")
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Printf("c=%-4d %14s (%v)\n", r.C, "-", r.Err)
+				continue
+			}
+			fmt.Printf("c=%-4d %14v\n", r.C, r.PerStep)
+		}
+		fmt.Printf("autotuned replication factor: c=%d\n", best)
+		return
+	}
+
+	var cs []int
+	for _, tok := range strings.Split(*csFlag, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			log.Fatalf("bad -cs entry %q: %v", tok, err)
+		}
+		cs = append(cs, c)
+	}
+
+	fmt.Printf("real-execution sweep: n=%d p=%d dim=%d cutoff=%g steps=%d\n",
+		*n, *p, *dim, *cutoff, *steps)
+	fmt.Printf("%-6s %14s %16s %14s\n", "c", "time/step", "S (msg events)", "W (bytes)")
+	for _, c := range cs {
+		run := cfg
+		run.C = c
+		sim, err := nbody.New(run)
+		if err != nil {
+			fmt.Printf("c=%-4d infeasible: %v\n", c, err)
+			continue
+		}
+		start := time.Now()
+		if err := sim.Run(*steps); err != nil {
+			log.Fatalf("c=%d: %v", c, err)
+		}
+		per := time.Since(start) / time.Duration(*steps)
+		rep := sim.Report()
+		fmt.Printf("c=%-4d %14v %16d %14d\n", c, per, rep.S()/int64(*steps), rep.W()/int64(*steps))
+	}
+}

@@ -1,0 +1,43 @@
+// Autotune picks the replication factor empirically, the strategy the
+// paper suggests in its conclusions ("c ... can be autotuned at runtime
+// by trying multiple factors"): it times a few trial steps at every
+// feasible power-of-two c and commits to the fastest for the production
+// run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nbody "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := nbody.Config{N: 2048, P: 64}
+
+	best, trials, err := nbody.AutotuneC(cfg, 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trial results:")
+	for _, tr := range trials {
+		if tr.Err != nil {
+			fmt.Printf("  c=%-3d infeasible: %v\n", tr.C, tr.Err)
+			continue
+		}
+		fmt.Printf("  c=%-3d %v/step\n", tr.C, tr.PerStep)
+	}
+	fmt.Printf("autotuned replication factor: c=%d\n\n", best)
+
+	cfg.C = best
+	sim, err := nbody.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Run(25); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("production run complete: %d steps at c=%d\n", sim.Steps(), best)
+	fmt.Print(sim.Report())
+}

@@ -1,0 +1,54 @@
+package comm
+
+import "fmt"
+
+// Scatter distributes blocks[i] from root to rank i and returns the
+// caller's block. Only the root's blocks argument is consulted; other
+// ranks pass nil. Implemented as direct sends from the root, like its
+// MPI_Scatterv counterpart on small communicators.
+func (c *Comm) Scatter(root int, blocks [][]byte) []byte {
+	c.checkPeer(root)
+	n := c.Size()
+	if c.rank == root {
+		if len(blocks) != n {
+			panic(fmt.Sprintf("comm: scatter of %d blocks on %d ranks", len(blocks), n))
+		}
+		for r := 0; r < n; r++ {
+			if r != root {
+				c.Send(r, tagScatter, blocks[r])
+			}
+		}
+		return blocks[root]
+	}
+	return c.Recv(root, tagScatter)
+}
+
+// Alltoall delivers blocks[j] from every rank to rank j and returns the
+// received blocks indexed by source rank. All ranks must pass exactly
+// Size() blocks. The implementation is the classic pairwise-exchange
+// algorithm: in round k every rank exchanges with rank⊕-style partner
+// (rank+k, rank−k), giving n−1 perfectly balanced rounds with no hot
+// spots.
+func (c *Comm) Alltoall(blocks [][]byte) [][]byte {
+	n := c.Size()
+	if len(blocks) != n {
+		panic(fmt.Sprintf("comm: alltoall of %d blocks on %d ranks", len(blocks), n))
+	}
+	out := make([][]byte, n)
+	out[c.rank] = blocks[c.rank]
+	for k := 1; k < n; k++ {
+		to := (c.rank + k) % n
+		from := (c.rank - k + n) % n
+		out[from] = c.Sendrecv(to, blocks[to], from, tagAlltoall+k)
+	}
+	return out
+}
+
+// Tags for the additional collectives, continuing the negative built-in
+// tag space downward from the base set. tagAlltoall is a base: round k
+// uses tagAlltoall+k... which must stay negative, so rounds are offset
+// below it.
+const (
+	tagScatter  = -100
+	tagAlltoall = -10000
+)

@@ -1,0 +1,139 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			t.Parallel()
+			root := p - 1
+			_, err := Run(p, Options{}, func(c *Comm) error {
+				var blocks [][]byte
+				if c.Rank() == root {
+					blocks = make([][]byte, p)
+					for r := range blocks {
+						blocks[r] = []byte{byte(r), byte(r * 3)}
+					}
+				}
+				got := c.Scatter(root, blocks)
+				if len(got) != 2 || got[0] != byte(c.Rank()) || got[1] != byte(c.Rank()*3) {
+					return fmt.Errorf("rank %d got %v", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			t.Parallel()
+			_, err := Run(p, Options{}, func(c *Comm) error {
+				blocks := make([][]byte, p)
+				for j := range blocks {
+					// Block for rank j encodes (sender, receiver).
+					blocks[j] = []byte{byte(c.Rank()), byte(j)}
+				}
+				got := c.Alltoall(blocks)
+				for src := 0; src < p; src++ {
+					if len(got[src]) != 2 || got[src][0] != byte(src) || got[src][1] != byte(c.Rank()) {
+						return fmt.Errorf("rank %d slot %d = %v", c.Rank(), src, got[src])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAlltoallWrongBlockCountPanics(t *testing.T) {
+	_, err := Run(4, Options{}, func(c *Comm) error {
+		c.Alltoall(make([][]byte, 3))
+		return nil
+	})
+	if err == nil {
+		t.Fatal("wrong block count should fail the run")
+	}
+}
+
+func benchmarkCollective(b *testing.B, p int, alg CollectiveAlg, body func(c *Comm)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Options{Collectives: alg}, func(c *Comm) error {
+			body(c)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBcast(b *testing.B) {
+	payload := make([]byte, 4096)
+	for _, alg := range []CollectiveAlg{Tree, Flat, Ring} {
+		b.Run(fmt.Sprintf("%v/p=32", alg), func(b *testing.B) {
+			benchmarkCollective(b, 32, alg, func(c *Comm) {
+				var data []byte
+				if c.Rank() == 0 {
+					data = payload
+				}
+				c.Bcast(0, data)
+			})
+		})
+	}
+}
+
+func BenchmarkReduce(b *testing.B) {
+	vals := make([]float64, 512)
+	for _, alg := range []CollectiveAlg{Tree, Flat, Ring} {
+		b.Run(fmt.Sprintf("%v/p=32", alg), func(b *testing.B) {
+			benchmarkCollective(b, 32, alg, func(c *Comm) {
+				c.ReduceF64s(0, vals)
+			})
+		})
+	}
+}
+
+func BenchmarkAllgatherRing(b *testing.B) {
+	payload := make([]byte, 1024)
+	benchmarkCollective(b, 32, Tree, func(c *Comm) {
+		c.Allgather(payload)
+	})
+}
+
+func BenchmarkAlltoallPairwise(b *testing.B) {
+	benchmarkCollective(b, 32, Tree, func(c *Comm) {
+		blocks := make([][]byte, c.Size())
+		for j := range blocks {
+			blocks[j] = make([]byte, 128)
+		}
+		c.Alltoall(blocks)
+	})
+}
+
+func BenchmarkSendrecvRing(b *testing.B) {
+	payload := make([]byte, 4096)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(64, Options{}, func(c *Comm) error {
+			data := payload
+			for s := 0; s < 8; s++ {
+				data = c.Sendrecv((c.Rank()+1)%64, data, (c.Rank()+63)%64, s)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

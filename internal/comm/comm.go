@@ -1,0 +1,229 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// CollectiveAlg selects the algorithm used by collectives on a
+// communicator.
+type CollectiveAlg int
+
+const (
+	// Tree uses binomial trees: log(n) stages, the paper's model
+	// assumption for broadcast and reduction.
+	Tree CollectiveAlg = iota
+	// Flat uses linear algorithms: the root sends to (or receives from)
+	// every member directly. This is the "no-tree" configuration of the
+	// Intrepid experiments.
+	Flat
+	// Ring passes data around a ring; offered for bandwidth-bound
+	// broadcasts and used by tests as a third independent
+	// implementation.
+	Ring
+)
+
+func (a CollectiveAlg) String() string {
+	switch a {
+	case Tree:
+		return "tree"
+	case Flat:
+		return "flat"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("CollectiveAlg(%d)", int(a))
+	}
+}
+
+// Options configures a run of the runtime.
+type Options struct {
+	// Collectives selects the collective algorithm (default Tree).
+	Collectives CollectiveAlg
+	set         bool
+}
+
+func (o Options) withDefaults() Options {
+	o.set = true
+	return o
+}
+
+// Comm is one rank's handle on a communicator: a fixed group of world
+// ranks with private message traffic. It is analogous to an MPI
+// communicator. A Comm value belongs to a single rank and must not be
+// shared between goroutines.
+type Comm struct {
+	rt    *Runtime
+	id    uint64
+	rank  int   // rank within this communicator
+	group []int // world rank of each communicator rank
+	opts  Options
+	stats *trace.Stats
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.group[c.rank] }
+
+// Stats returns the rank's accounting record (shared across all
+// communicators of the rank).
+func (c *Comm) Stats() *trace.Stats { return c.stats }
+
+// SetPhase labels subsequent communication and computation with phase.
+func (c *Comm) SetPhase(p trace.Phase) { c.stats.SetPhase(p) }
+
+// Options returns the options the communicator was created with.
+func (c *Comm) Options() Options { return c.opts }
+
+// checkPeer panics if peer is not a valid rank of the communicator.
+func (c *Comm) checkPeer(peer int) {
+	if peer < 0 || peer >= len(c.group) {
+		panic(fmt.Sprintf("comm: peer %d outside communicator of size %d", peer, len(c.group)))
+	}
+}
+
+// Send delivers data to rank `to` of this communicator under tag. The
+// payload is not copied; senders must not modify it afterwards. Send
+// blocks only when the destination mailbox is full.
+func (c *Comm) Send(to, tag int, data []byte) {
+	c.checkPeer(to)
+	if to == c.rank {
+		panic("comm: self-send (use local copies instead)")
+	}
+	box := c.rt.boxes[c.group[to]][c.group[c.rank]]
+	m := message{comm: c.id, tag: tag, data: data}
+	select {
+	case box <- m:
+	case <-c.rt.abort:
+		panic(errAborted{})
+	}
+	c.stats.CountMessage(len(data))
+}
+
+// Recv blocks until the next message from rank `from` of this
+// communicator arrives and returns its payload. The message must carry
+// the expected communicator id and tag — the algorithms in this
+// repository are deterministic, so a mismatch indicates a schedule bug
+// and panics rather than being silently reordered.
+func (c *Comm) Recv(from, tag int) []byte {
+	c.checkPeer(from)
+	if from == c.rank {
+		panic("comm: self-receive")
+	}
+	box := c.rt.boxes[c.group[c.rank]][c.group[from]]
+	select {
+	case m := <-box:
+		if m.comm != c.id || m.tag != tag {
+			panic(fmt.Sprintf("comm: rank %d expected (comm %x, tag %d) from %d, got (comm %x, tag %d)",
+				c.rank, c.id, tag, from, m.comm, m.tag))
+		}
+		c.stats.CountRecv(len(m.data))
+		return m.data
+	case <-c.rt.abort:
+		panic(errAborted{})
+	}
+}
+
+// Sendrecv sends data to rank `to` and receives a payload from rank
+// `from` under the same tag, without deadlocking when all ranks of a ring
+// call it simultaneously. This is the primitive behind the skew and shift
+// steps of the communication-avoiding algorithms.
+func (c *Comm) Sendrecv(to int, data []byte, from, tag int) []byte {
+	if to == c.rank && from == c.rank {
+		// Degenerate single-rank ring: the shift is the identity.
+		return data
+	}
+	c.Send(to, tag, data)
+	return c.Recv(from, tag)
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+// Implemented as a reduction to rank 0 followed by a broadcast.
+func (c *Comm) Barrier() {
+	const tag = tagBarrier
+	if c.Size() == 1 {
+		return
+	}
+	// Binomial fan-in then fan-out, independent of the collective
+	// algorithm option: a barrier carries no payload worth modelling.
+	c.fanIn(0, tag, nil)
+	c.fanOut(0, tag, nil)
+}
+
+// Split partitions the communicator by color, ordering ranks of each new
+// communicator by key (ties broken by parent rank), and returns the
+// caller's handle on its new communicator. All ranks of the parent must
+// call Split with consistent arguments; color/key exchange happens
+// through an allgather on the parent.
+func (c *Comm) Split(color, key int) *Comm {
+	type ck struct{ color, key, rank int }
+	mine := encodeInts([]int{color, key, c.rank})
+	all := c.Allgather(mine)
+	var members []ck
+	for r, b := range all {
+		v := decodeInts(b)
+		if v[0] == color {
+			members = append(members, ck{v[0], v[1], r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].rank < members[j].rank
+	})
+	group := make([]int, len(members))
+	newRank := -1
+	for i, m := range members {
+		group[i] = c.group[m.rank]
+		if m.rank == c.rank {
+			newRank = i
+		}
+	}
+	return &Comm{
+		rt:    c.rt,
+		id:    deriveID(c.id, color),
+		rank:  newRank,
+		group: group,
+		opts:  c.opts,
+		stats: c.stats,
+	}
+}
+
+// Sub returns the caller's handle on a communicator containing exactly
+// the given parent ranks, in the given order. Every listed rank must call
+// Sub with the same list; callers not in the list must not call it. No
+// communication is needed because the membership is explicit.
+func (c *Comm) Sub(parentRanks []int) *Comm {
+	group := make([]int, len(parentRanks))
+	newRank := -1
+	h := c.id
+	for i, pr := range parentRanks {
+		c.checkPeer(pr)
+		group[i] = c.group[pr]
+		if pr == c.rank {
+			newRank = i
+		}
+		h = deriveID(h, pr)
+	}
+	if newRank == -1 {
+		panic("comm: Sub called by rank outside the sub-group")
+	}
+	return &Comm{rt: c.rt, id: h, rank: newRank, group: group, opts: c.opts, stats: c.stats}
+}
+
+// Tags used by the built-in collectives; user code must use tags >= 0.
+const (
+	tagBarrier = -1 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllgather
+)

@@ -1,0 +1,301 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	_, err := Run(2, Options{}, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, []byte("hello"))
+		case 1:
+			if got := string(c.Recv(0, 7)); got != "hello" {
+				return fmt.Errorf("got %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRingNoDeadlock(t *testing.T) {
+	const p = 64
+	_, err := Run(p, Options{}, func(c *Comm) error {
+		payload := []byte{byte(c.Rank())}
+		for step := 0; step < 10; step++ {
+			to := (c.Rank() + 1) % p
+			from := (c.Rank() - 1 + p) % p
+			payload = c.Sendrecv(to, payload, from, step)
+		}
+		// After 10 steps each payload has travelled 10 ranks.
+		want := byte((c.Rank() - 10 + p) % p)
+		if payload[0] != want {
+			return fmt.Errorf("rank %d: payload from %d, want %d", c.Rank(), payload[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorAbortsCleanly(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(8, Options{}, func(c *Comm) error {
+		if c.Rank() == 3 {
+			return boom
+		}
+		// Everyone else blocks on a receive that will never arrive; the
+		// abort must unwind them.
+		c.Recv((c.Rank()+1)%8, 0)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestPanicIsReported(t *testing.T) {
+	_, err := Run(4, Options{}, func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("kaboom")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic report", err)
+	}
+}
+
+func TestBcastAllAlgorithmsAllRootsAllSizes(t *testing.T) {
+	for _, alg := range []CollectiveAlg{Tree, Flat, Ring} {
+		for _, p := range []int{1, 2, 3, 5, 8, 16} {
+			for root := 0; root < p; root += 3 {
+				alg, p, root := alg, p, root
+				t.Run(fmt.Sprintf("%v/p=%d/root=%d", alg, p, root), func(t *testing.T) {
+					t.Parallel()
+					_, err := Run(p, Options{Collectives: alg}, func(c *Comm) error {
+						var data []byte
+						if c.Rank() == root {
+							data = []byte{1, 2, 3, byte(root)}
+						}
+						got := c.Bcast(root, data)
+						if len(got) != 4 || got[3] != byte(root) {
+							return fmt.Errorf("rank %d got %v", c.Rank(), got)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestReduceAllAlgorithms(t *testing.T) {
+	for _, alg := range []CollectiveAlg{Tree, Flat, Ring} {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			alg, p := alg, p
+			t.Run(fmt.Sprintf("%v/p=%d", alg, p), func(t *testing.T) {
+				t.Parallel()
+				root := p / 2
+				_, err := Run(p, Options{Collectives: alg}, func(c *Comm) error {
+					vals := []float64{float64(c.Rank()), 1}
+					got := c.ReduceF64s(root, vals)
+					if c.Rank() != root {
+						if got != nil {
+							return fmt.Errorf("non-root got %v", got)
+						}
+						return nil
+					}
+					wantSum := float64(p*(p-1)) / 2
+					if got[0] != wantSum || got[1] != float64(p) {
+						return fmt.Errorf("reduce = %v, want [%g %d]", got, wantSum, p)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceAndBarrier(t *testing.T) {
+	_, err := Run(12, Options{}, func(c *Comm) error {
+		c.Barrier()
+		got := c.AllreduceF64s([]float64{1})
+		if got[0] != 12 {
+			return fmt.Errorf("allreduce = %v", got)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherAndAllgather(t *testing.T) {
+	_, err := Run(9, Options{}, func(c *Comm) error {
+		payload := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+		all := c.Allgather(payload)
+		for r := 0; r < 9; r++ {
+			if len(all[r]) != 2 || all[r][0] != byte(r) {
+				return fmt.Errorf("rank %d: allgather slot %d = %v", c.Rank(), r, all[r])
+			}
+		}
+		g := c.Gather(4, payload)
+		if c.Rank() == 4 {
+			for r := 0; r < 9; r++ {
+				if g[r][0] != byte(r) {
+					return fmt.Errorf("gather slot %d = %v", r, g[r])
+				}
+			}
+		} else if g != nil {
+			return fmt.Errorf("non-root gather = %v", g)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRowsAndColumns(t *testing.T) {
+	const rows, cols = 3, 4
+	_, err := Run(rows*cols, Options{}, func(c *Comm) error {
+		row, col := c.Rank()/cols, c.Rank()%cols
+		rowComm := c.Split(row, col)
+		colComm := c.Split(rows+col, row)
+		if rowComm.Size() != cols || rowComm.Rank() != col {
+			return fmt.Errorf("row comm size %d rank %d", rowComm.Size(), rowComm.Rank())
+		}
+		if colComm.Size() != rows || colComm.Rank() != row {
+			return fmt.Errorf("col comm size %d rank %d", colComm.Size(), colComm.Rank())
+		}
+		// Sub-communicator collectives work and do not cross-talk.
+		sum := rowComm.AllreduceF64s([]float64{float64(col)})
+		if sum[0] != float64(cols*(cols-1)/2) {
+			return fmt.Errorf("row allreduce = %v", sum)
+		}
+		sum = colComm.AllreduceF64s([]float64{1})
+		if sum[0] != rows {
+			return fmt.Errorf("col allreduce = %v", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubCommunicator(t *testing.T) {
+	_, err := Run(6, Options{}, func(c *Comm) error {
+		if c.Rank()%2 == 0 {
+			sub := c.Sub([]int{0, 2, 4})
+			if sub.Size() != 3 || sub.Rank() != c.Rank()/2 {
+				return fmt.Errorf("sub size %d rank %d", sub.Size(), sub.Rank())
+			}
+			got := sub.AllreduceF64s([]float64{float64(c.Rank())})
+			if got[0] != 6 {
+				return fmt.Errorf("sub allreduce = %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCountMessages(t *testing.T) {
+	rep, err := Run(2, Options{}, func(c *Comm) error {
+		c.SetPhase(trace.Shift)
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 100))
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := rep.CriticalPath[trace.Shift]
+	if cp.Messages != 1 || cp.Bytes != 100 {
+		t.Errorf("send accounting: %+v", cp)
+	}
+	if cp.RecvMessages != 1 || cp.RecvBytes != 100 {
+		t.Errorf("recv accounting: %+v", cp)
+	}
+}
+
+func TestF64sCodecRoundTrip(t *testing.T) {
+	prop := func(vals []float64) bool {
+		got := BytesToF64s(F64sToBytes(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// Bitwise comparison (NaN-safe).
+			a := F64sToBytes(vals[i : i+1])
+			b := F64sToBytes(got[i : i+1])
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if BytesToF64s(nil) != nil {
+		t.Error("nil should round-trip to nil")
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	_, err := Run(2, Options{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []byte{1})
+		} else {
+			c.Recv(0, 6) // wrong tag: must panic, reported as error
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("tag mismatch should fail the run")
+	}
+}
+
+func TestSelfMessagingPanics(t *testing.T) {
+	_, err := Run(1, Options{}, func(c *Comm) error {
+		c.Send(0, 0, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("self-send should fail")
+	}
+}
+
+func TestCollectiveAlgString(t *testing.T) {
+	if Tree.String() != "tree" || Flat.String() != "flat" || Ring.String() != "ring" {
+		t.Error("CollectiveAlg names wrong")
+	}
+}

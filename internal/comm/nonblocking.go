@@ -1,0 +1,116 @@
+package comm
+
+// Nonblocking point-to-point operations, the substrate for overlapping
+// communication with computation in the shift loop (the optimization
+// production MD codes layer on top of the paper's algorithm; see
+// core.AllPairs with Overlap set).
+
+// Request is an in-flight nonblocking operation. It belongs to the rank
+// that created it; Wait must be called from that rank's goroutine.
+type Request struct {
+	comm *Comm
+	// For sends: sent is closed once the payload is in the destination
+	// mailbox (nil when the fast path delivered synchronously).
+	sent chan struct{}
+	// For receives: the source and tag to collect at Wait time.
+	from, tag int
+	isRecv    bool
+}
+
+// Isend starts a nonblocking send of data to rank `to` under tag and
+// returns a Request to Wait on. The payload is counted against the
+// caller's active phase immediately. If the destination mailbox has
+// space the send completes inline; otherwise a goroutine completes it,
+// so the caller can proceed to computation without deadlocking even
+// against a slow receiver.
+func (c *Comm) Isend(to, tag int, data []byte) *Request {
+	c.checkPeer(to)
+	if to == c.rank {
+		panic("comm: self-send (use local copies instead)")
+	}
+	src, dst := c.group[c.rank], c.group[to]
+	box := c.rt.boxes[dst][src]
+	m := message{comm: c.id, tag: tag, data: data}
+	c.stats.CountMessage(len(data))
+
+	// An earlier overflow send to the same destination that is still in
+	// flight forbids the fast path: delivering inline would reorder the
+	// stream.
+	prev := c.rt.sendTail[src][dst]
+	if prev != nil {
+		select {
+		case <-prev.sent:
+			prev = nil
+			c.rt.sendTail[src][dst] = nil
+		default:
+		}
+	}
+	if prev == nil {
+		select {
+		case box <- m:
+			return &Request{comm: c}
+		default:
+		}
+	}
+	r := &Request{comm: c, sent: make(chan struct{})}
+	go func() {
+		defer close(r.sent)
+		if prev != nil {
+			select {
+			case <-prev.sent:
+			case <-c.rt.abort:
+				return
+			}
+		}
+		select {
+		case box <- m:
+		case <-c.rt.abort:
+		}
+	}()
+	c.rt.sendTail[src][dst] = r
+	return r
+}
+
+// Irecv registers interest in the next message from rank `from` under
+// tag. No data moves until Wait; the incoming message parks in the
+// mailbox buffer meanwhile.
+func (c *Comm) Irecv(from, tag int) *Request {
+	c.checkPeer(from)
+	if from == c.rank {
+		panic("comm: self-receive")
+	}
+	return &Request{comm: c, from: from, tag: tag, isRecv: true}
+}
+
+// Wait completes the operation: for receives it blocks for and returns
+// the payload; for sends it blocks until the payload is delivered to the
+// destination mailbox and returns nil.
+func (r *Request) Wait() []byte {
+	if r.isRecv {
+		return r.comm.Recv(r.from, r.tag)
+	}
+	if r.sent != nil {
+		select {
+		case <-r.sent:
+		case <-r.comm.rt.abort:
+			panic(errAborted{})
+		}
+	}
+	return nil
+}
+
+// SendrecvOverlap performs the shift exchange of Sendrecv but runs
+// overlap() between posting the send and collecting the receive, letting
+// computation on the outgoing buffer proceed while the payloads move.
+func (c *Comm) SendrecvOverlap(to int, data []byte, from, tag int, overlap func()) []byte {
+	if to == c.rank && from == c.rank {
+		overlap()
+		return data
+	}
+	send := c.Isend(to, tag, data)
+	recv := c.Irecv(from, tag)
+	overlap()
+	out := recv.Wait()
+	send.Wait()
+	return out
+}

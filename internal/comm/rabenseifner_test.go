@@ -1,0 +1,105 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReduceScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		for _, vlen := range []int{1, 7, 16, 33} {
+			if vlen < p {
+				continue // some blocks would be empty; allowed but trivial
+			}
+			p, vlen := p, vlen
+			t.Run(fmt.Sprintf("p=%d/len=%d", p, vlen), func(t *testing.T) {
+				t.Parallel()
+				_, err := Run(p, Options{}, func(c *Comm) error {
+					vals := make([]float64, vlen)
+					for i := range vals {
+						vals[i] = float64(c.Rank()*1000 + i)
+					}
+					got := c.ReduceScatterF64s(vals)
+					lo, hi := BlockRange(vlen, p, c.Rank())
+					if len(got) != hi-lo {
+						return fmt.Errorf("rank %d: block len %d, want %d", c.Rank(), len(got), hi-lo)
+					}
+					for i := range got {
+						// Σ_r (r·1000 + idx) = 1000·p(p−1)/2 + p·idx.
+						idx := lo + i
+						want := float64(1000*p*(p-1)/2 + p*idx)
+						if got[i] != want {
+							return fmt.Errorf("rank %d idx %d: got %g, want %g", c.Rank(), idx, got[i], want)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceRabenseifnerMatchesTree(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 16} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			t.Parallel()
+			_, err := Run(p, Options{}, func(c *Comm) error {
+				vals := make([]float64, 40)
+				for i := range vals {
+					vals[i] = float64(c.Rank()) + float64(i)*0.5
+				}
+				rab := c.AllreduceRabenseifner(vals)
+				tree := c.AllreduceF64s(vals)
+				if len(rab) != len(tree) {
+					return fmt.Errorf("length mismatch %d vs %d", len(rab), len(tree))
+				}
+				for i := range rab {
+					if rab[i] != tree[i] {
+						return fmt.Errorf("idx %d: rabenseifner %g vs tree %g", i, rab[i], tree[i])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBlockRangePartitions(t *testing.T) {
+	for _, total := range []int{0, 1, 10, 33} {
+		for _, parts := range []int{1, 3, 8} {
+			covered := 0
+			prevHi := 0
+			for b := 0; b < parts; b++ {
+				lo, hi := BlockRange(total, parts, b)
+				if lo != prevHi {
+					t.Fatalf("total=%d parts=%d blk=%d: gap at %d..%d", total, parts, b, prevHi, lo)
+				}
+				if hi < lo {
+					t.Fatalf("negative block %d..%d", lo, hi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != total {
+				t.Fatalf("total=%d parts=%d: covered %d", total, parts, covered)
+			}
+		}
+	}
+}
+
+func BenchmarkAllreduceAlgorithms(b *testing.B) {
+	vals := make([]float64, 4096)
+	b.Run("tree/p=16", func(b *testing.B) {
+		benchmarkCollective(b, 16, Tree, func(c *Comm) { c.AllreduceF64s(vals) })
+	})
+	b.Run("rabenseifner/p=16", func(b *testing.B) {
+		benchmarkCollective(b, 16, Tree, func(c *Comm) { c.AllreduceRabenseifner(vals) })
+	})
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/phys"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// AllPairs runs the communication-avoiding all-pairs interaction
+// algorithm (Algorithm 1 of the paper) for pr.Steps timesteps on pr.P
+// goroutine ranks with replication factor pr.C, starting from the
+// particle set ps. It returns the final particles sorted by ID and the
+// aggregated communication report.
+//
+// Requirements: c² must divide p (so the shift loop runs an integral
+// p/c² steps) and the number of teams p/c must divide n (so teams own
+// equal subsets, the paper's load-balance assumption).
+func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, error) {
+	n := len(ps)
+	if err := pr.validateCommon(n); err != nil {
+		return nil, nil, err
+	}
+	if pr.P%(pr.C*pr.C) != 0 {
+		return nil, nil, fmt.Errorf("core: all-pairs needs c² | p, got p=%d c=%d", pr.P, pr.C)
+	}
+	T := pr.Teams()
+	if n%T != 0 {
+		return nil, nil, fmt.Errorf("core: all-pairs needs teams | n, got n=%d teams=%d", n, T)
+	}
+	grid, err := topo.NewGrid(pr.P, pr.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	npt := n / T                   // particles per team
+	shifts := pr.P / (pr.C * pr.C) // shift steps per timestep
+
+	// results[t] is written only by the leader of team t.
+	results := make([][]phys.Particle, T)
+
+	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
+		rank := world.Rank()
+		row, col := grid.Coord(rank)
+		// Row communicator: all ranks with the same row, ordered by
+		// column. Column (team) communicator: ordered by row, so the
+		// team leader is rank 0.
+		rowComm := world.Split(row, col)
+		teamComm := world.Split(grid.Rows+col, row)
+		st := world.Stats()
+
+		// The leader starts with the authoritative copy of the team's
+		// particles (contiguous block of the ID-ordered input).
+		var mine []phys.Particle
+		if row == 0 {
+			mine = append([]phys.Particle(nil), ps[col*npt:(col+1)*npt]...)
+		}
+
+		st.StartTiming()
+		defer st.StopTiming()
+
+		for step := 0; step < pr.Steps; step++ {
+			// (1) Broadcast St from the team leader to team members.
+			st.SetPhase(trace.Broadcast)
+			var payload []byte
+			if row == 0 {
+				payload = phys.EncodeSlice(mine)
+			}
+			teamData := teamComm.Bcast(0, payload)
+			team, err := phys.DecodeSlice(teamData)
+			if err != nil {
+				return err
+			}
+			phys.ClearForces(team)
+
+			// (2) Copy St to the exchange buffer.
+			exchange := phys.EncodeSlice(team)
+
+			// (3) Skew: row k shifts its exchange buffer east by k.
+			st.SetPhase(trace.Skew)
+			if row != 0 && T > 1 {
+				to := rowComm.Rank() // == col
+				to = topo.Mod(to+row, T)
+				from := topo.Mod(col-row, T)
+				exchange = rowComm.Sendrecv(to, exchange, from, tagSkew)
+			}
+
+			// (4) p/c² shift-and-update steps. In overlap mode each rank
+			// computes against the buffer it currently holds while that
+			// buffer travels to the neighbor (the offsets visited differ
+			// by one shift but cover the same residue class, so the
+			// result is identical).
+			for i := 0; i < shifts; i++ {
+				st.SetPhase(trace.Shift)
+				update := func(buf []byte) error {
+					visiting, err := phys.DecodeSlice(buf)
+					if err != nil {
+						return err
+					}
+					st.SetPhase(trace.Compute)
+					pr.Law.Accumulate(team, visiting)
+					return nil
+				}
+				if T > 1 && pr.C < T {
+					to := topo.Mod(col+pr.C, T)
+					from := topo.Mod(col-pr.C, T)
+					if pr.Overlap {
+						cur := exchange
+						var updateErr error
+						exchange = rowComm.SendrecvOverlap(to, cur, from, tagShift+i, func() {
+							updateErr = update(cur)
+							st.SetPhase(trace.Shift)
+						})
+						if updateErr != nil {
+							return updateErr
+						}
+						continue
+					}
+					exchange = rowComm.Sendrecv(to, exchange, from, tagShift+i)
+				}
+				if err := update(exchange); err != nil {
+					return err
+				}
+			}
+
+			// (5) Sum-reduce the partial force contributions within the
+			// team; the leader integrates.
+			st.SetPhase(trace.Reduce)
+			total := teamComm.ReduceF64s(0, flattenForces(team))
+			if row == 0 {
+				applyForces(mine, total)
+				st.SetPhase(trace.Compute)
+				phys.Step(mine, pr.Box, pr.DT)
+			}
+			st.SetPhase(trace.Other)
+		}
+
+		if row == 0 {
+			results[col] = mine
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, report, err
+	}
+	return gatherResults(results, n), report, nil
+}
+
+// gatherResults flattens per-team outputs and sorts them by ID.
+func gatherResults(results [][]phys.Particle, n int) []phys.Particle {
+	out := make([]phys.Particle, 0, n)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	phys.SortByID(out)
+	return out
+}
+
+// Tags for user-level messages. Shift tags encode the step index so a
+// mismatched schedule fails loudly.
+const (
+	tagSkew = iota
+	tagMigrate
+	tagShift = 1000
+)

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+// ParticleDecomposition runs the c = 1 degenerate case of the CA
+// algorithm: every processor is its own team and buffers shift
+// point-to-point around the ring, exactly Plimpton's particle
+// decomposition with pairwise shifting.
+func ParticleDecomposition(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, error) {
+	pr.C = 1
+	return AllPairs(ps, pr)
+}
+
+// ForceDecomposition runs the c = √p extreme of the CA algorithm,
+// Plimpton's force decomposition: each processor computes one
+// n/√p × n/√p block of the interaction matrix, with a single shift step.
+// P must be a perfect square.
+func ForceDecomposition(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, error) {
+	root := int(math.Round(math.Sqrt(float64(pr.P))))
+	if root*root != pr.P {
+		return nil, nil, fmt.Errorf("core: force decomposition needs a square p, got %d", pr.P)
+	}
+	pr.C = root
+	return AllPairs(ps, pr)
+}
+
+// NaiveAllGather is the textbook particle decomposition of Section II-B:
+// each processor owns n/p particles and sends them to every other
+// processor each timestep (via the ring allgather), paying
+// S = O(p) messages and W = O(n) words on the critical path. It is the
+// baseline whose communication the CA algorithm improves upon.
+func NaiveAllGather(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, error) {
+	n := len(ps)
+	pr.C = 1
+	if err := pr.validateCommon(n); err != nil {
+		return nil, nil, err
+	}
+	if n%pr.P != 0 {
+		return nil, nil, fmt.Errorf("core: naive decomposition needs p | n, got n=%d p=%d", n, pr.P)
+	}
+	npr := n / pr.P
+	results := make([][]phys.Particle, pr.P)
+
+	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
+		rank := world.Rank()
+		st := world.Stats()
+		mine := append([]phys.Particle(nil), ps[rank*npr:(rank+1)*npr]...)
+
+		st.StartTiming()
+		defer st.StopTiming()
+		for step := 0; step < pr.Steps; step++ {
+			st.SetPhase(trace.Shift)
+			blocks := world.Allgather(phys.EncodeSlice(mine))
+			st.SetPhase(trace.Compute)
+			phys.ClearForces(mine)
+			for _, b := range blocks {
+				others, err := phys.DecodeSlice(b)
+				if err != nil {
+					return err
+				}
+				pr.Law.Accumulate(mine, others)
+			}
+			phys.Step(mine, pr.Box, pr.DT)
+			st.SetPhase(trace.Other)
+		}
+		results[rank] = mine
+		return nil
+	})
+	if err != nil {
+		return nil, report, err
+	}
+	return gatherResults(results, n), report, nil
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+// TestAllPairsCommunicationCounts pins the implementation to the paper's
+// cost analysis: the instrumented runtime must reproduce the closed-form
+// critical-path message and byte counts of Equation 5 exactly.
+func TestAllPairsCommunicationCounts(t *testing.T) {
+	cases := []struct{ p, c, n int }{
+		{4, 1, 16},
+		{4, 2, 16},
+		{16, 2, 32},
+		{16, 4, 32},
+		{64, 2, 128},
+		{64, 4, 128},
+		{64, 8, 128},
+		{36, 6, 72},
+		{48, 4, 96}, // non-power-of-two team count
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/c=%d/n=%d", tc.p, tc.c, tc.n), func(t *testing.T) {
+			t.Parallel()
+			pr := defaultParams(tc.p, tc.c, 1)
+			ps := phys.InitUniform(tc.n, pr.Box, 5)
+			_, rep, err := AllPairs(ps, pr)
+			if err != nil {
+				t.Fatalf("AllPairs: %v", err)
+			}
+			want := AllPairsExpectedCounts(tc.n, tc.p, tc.c)
+
+			check := func(phase trace.Phase, field string, got, want int64) {
+				t.Helper()
+				if got != want {
+					t.Errorf("%v %s: got %d, want %d", phase, field, got, want)
+				}
+			}
+			check(trace.Broadcast, "sends", rep.CriticalPath[trace.Broadcast].Messages, want.BcastSends)
+			check(trace.Broadcast, "bytes", rep.CriticalPath[trace.Broadcast].Bytes, want.BcastBytes)
+			check(trace.Skew, "sends", rep.CriticalPath[trace.Skew].Messages, want.SkewSends)
+			check(trace.Skew, "bytes", rep.CriticalPath[trace.Skew].Bytes, want.SkewBytes)
+			check(trace.Shift, "sends", rep.CriticalPath[trace.Shift].Messages, want.ShiftSends)
+			check(trace.Shift, "bytes", rep.CriticalPath[trace.Shift].Bytes, want.ShiftBytes)
+			check(trace.Reduce, "sends", rep.CriticalPath[trace.Reduce].Messages, want.ReduceSends)
+			check(trace.Reduce, "bytes", rep.CriticalPath[trace.Reduce].Bytes, want.ReduceBytes)
+			check(trace.Reduce, "recvs", rep.CriticalPath[trace.Reduce].RecvMessages, want.ReduceRecvs)
+		})
+	}
+}
+
+// TestCutoff1DCommunicationCounts pins the cutoff implementation to the
+// Section IV-B cost analysis: measured critical-path messages and bytes
+// must match the closed forms exactly on uniformly occupied teams.
+func TestCutoff1DCommunicationCounts(t *testing.T) {
+	cases := []struct{ p, c, n int }{
+		{8, 1, 64},
+		{16, 2, 64},
+		{16, 1, 64},
+		{32, 4, 128},
+		{24, 3, 96},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/c=%d/n=%d", tc.p, tc.c, tc.n), func(t *testing.T) {
+			t.Parallel()
+			pr := cutoffParams(tc.p, tc.c, 1, phys.Reflective)
+			pr.Steps = 1
+			ps := phys.InitLattice(tc.n, pr.Box, 3)
+			_, rep, err := Cutoff(ps, pr)
+			if err != nil {
+				t.Fatalf("Cutoff: %v", err)
+			}
+			T := tc.p / tc.c
+			m := SpanFor(pr.Law.Cutoff, pr.Box.L, T)
+			want, err := Cutoff1DExpectedCounts(tc.n, tc.p, tc.c, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(name string, got, wantV int64) {
+				t.Helper()
+				if got != wantV {
+					t.Errorf("%s: got %d, want %d", name, got, wantV)
+				}
+			}
+			check("bcast sends", rep.CriticalPath[trace.Broadcast].Messages, want.BcastSends)
+			check("bcast bytes", rep.CriticalPath[trace.Broadcast].Bytes, want.BcastBytes)
+			check("skew sends", rep.CriticalPath[trace.Skew].Messages, want.SkewSends)
+			check("skew bytes", rep.CriticalPath[trace.Skew].Bytes, want.SkewBytes)
+			check("shift sends", rep.CriticalPath[trace.Shift].Messages, want.ShiftSends)
+			check("shift bytes", rep.CriticalPath[trace.Shift].Bytes, want.ShiftBytes)
+			check("reduce sends", rep.CriticalPath[trace.Reduce].Messages, want.ReduceSends)
+			check("reduce bytes", rep.CriticalPath[trace.Reduce].Bytes, want.ReduceBytes)
+			check("reduce recvs", rep.CriticalPath[trace.Reduce].RecvMessages, want.ReduceRecvs)
+			// Reassignment: interior leaders exchange with both
+			// neighbors.
+			check("reassign sends", rep.CriticalPath[trace.Reassign].Messages, 2)
+		})
+	}
+}
+
+// TestCutoffMeetsLowerBounds checks the Section IV optimality claim on
+// real executions: measured S and W are within constant factors of
+// Equation 3 evaluated at M = c·n/p and k from Equation 7.
+func TestCutoffMeetsLowerBounds(t *testing.T) {
+	const n, p = 128, 32
+	for _, c := range []int{1, 2, 4} {
+		pr := cutoffParams(p, c, 1, phys.Reflective)
+		pr.Steps = 1
+		ps := phys.InitLattice(n, pr.Box, 3)
+		_, rep, err := Cutoff(ps, pr)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		T := p / c
+		m := SpanFor(pr.Law.Cutoff, pr.Box.L, T)
+		k := bounds.KForSpan(n, p, c, m)
+		M := bounds.MemoryPerRank(n, p, c)
+		sLB := bounds.CutoffLatency(n, p, k, M)
+		wLB := bounds.CutoffBandwidth(n, p, k, M)
+		s := float64(rep.S())
+		w := float64(rep.W()) / phys.WireSize
+		if s < sLB || w < wLB {
+			t.Errorf("c=%d: measured S=%.1f W=%.1f below bounds %.1f/%.1f", c, s, w, sLB, wLB)
+		}
+		if r := bounds.OptimalityRatio(s, sLB); r > 64 {
+			t.Errorf("c=%d: cutoff latency ratio %.1f not O(1)", c, r)
+		}
+		if r := bounds.OptimalityRatio(w, wLB); r > 64 {
+			t.Errorf("c=%d: cutoff bandwidth ratio %.1f not O(1)", c, r)
+		}
+	}
+}
+
+// TestAllPairsCountsScaleWithSteps confirms per-step accounting is
+// linear in the number of timesteps.
+func TestAllPairsCountsScaleWithSteps(t *testing.T) {
+	pr := defaultParams(16, 2, 1)
+	ps := phys.InitUniform(32, pr.Box, 5)
+	_, rep1, err := AllPairs(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Steps = 4
+	_, rep4, err := AllPairs(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range trace.CommPhases() {
+		if got, want := rep4.CriticalPath[ph].Messages, 4*rep1.CriticalPath[ph].Messages; got != want {
+			t.Errorf("%v: 4-step sends %d != 4×1-step %d", ph, got, want)
+		}
+	}
+}
+
+// TestAllPairsMeetsLowerBounds checks the headline claim: for every c the
+// measured critical-path communication is within a constant factor of
+// the Section II lower bounds evaluated at M = c·n/p, i.e. the algorithm
+// is communication-optimal at every replication factor.
+func TestAllPairsMeetsLowerBounds(t *testing.T) {
+	const n, p = 128, 64
+	for _, c := range []int{1, 2, 4, 8} {
+		pr := defaultParams(p, c, 1)
+		ps := phys.InitUniform(n, pr.Box, 3)
+		_, rep, err := AllPairs(ps, pr)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		M := bounds.MemoryPerRank(n, p, c)
+		sLB := bounds.DirectLatency(n, p, M)
+		wLB := bounds.DirectBandwidth(n, p, M)
+
+		// Measured S: message events on the critical path. Measured W:
+		// traffic in particles (52-byte wire words).
+		s := float64(rep.S())
+		w := float64(rep.W()) / phys.WireSize
+
+		if s < sLB {
+			t.Errorf("c=%d: measured S=%.1f below lower bound %.1f — accounting bug", c, s, sLB)
+		}
+		if w < wLB {
+			t.Errorf("c=%d: measured W=%.1f below lower bound %.1f — accounting bug", c, w, wLB)
+		}
+		// Optimality: within a modest constant (plus log c collective
+		// terms) of the bound.
+		if r := bounds.OptimalityRatio(s, sLB); r > 32 {
+			t.Errorf("c=%d: latency ratio %.1f not O(1)", c, r)
+		}
+		if r := bounds.OptimalityRatio(w, wLB); r > 32 {
+			t.Errorf("c=%d: bandwidth ratio %.1f not O(1)", c, r)
+		}
+	}
+}
+
+// TestReplicationReducesCommunication verifies the monotone part of the
+// paper's Figure 2: growing c strictly reduces shift-phase traffic, the
+// dominant communication term, by roughly a factor of c.
+func TestReplicationReducesCommunication(t *testing.T) {
+	const n, p = 256, 64
+	prev := int64(-1)
+	for _, c := range []int{1, 2, 4} {
+		pr := defaultParams(p, c, 1)
+		ps := phys.InitUniform(n, pr.Box, 3)
+		_, rep, err := AllPairs(ps, pr)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		shift := rep.CriticalPath[trace.Shift].Bytes
+		wantWords := AllPairsShiftWords(n, p, c)
+		if got := float64(shift) / phys.WireSize; got != wantWords {
+			t.Errorf("c=%d: shift words %.0f, want %.0f", c, got, wantWords)
+		}
+		if prev >= 0 && shift*2 != prev {
+			t.Errorf("c=%d: shift bytes %d, want exactly half of previous %d", c, shift, prev)
+		}
+		prev = shift
+	}
+}

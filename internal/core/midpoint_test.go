@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+func TestMidpointMatchesSerial(t *testing.T) {
+	cases := []struct{ p, n int }{
+		{8, 64},
+		{16, 64},
+		{16, 96},
+		{32, 128},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/n=%d", tc.p, tc.n), func(t *testing.T) {
+			t.Parallel()
+			pr := cutoffParams(tc.p, 1, 1, phys.Reflective)
+			ps := phys.InitLattice(tc.n, pr.Box, 29)
+			want := serialCutoffRun(ps, pr.Law, pr.Box, pr.Steps, pr.DT)
+			got, rep, err := Midpoint1D(ps, pr)
+			if err != nil {
+				t.Fatalf("Midpoint1D: %v", err)
+			}
+			checkAgainst(t, got, want, 1e-9)
+			if rep.CriticalPath[trace.Shift].Messages == 0 {
+				t.Error("midpoint import phase sent no messages")
+			}
+			if rep.CriticalPath[trace.Reduce].Messages == 0 {
+				t.Error("midpoint force-return phase sent no messages")
+			}
+		})
+	}
+}
+
+func TestMidpointAgreesWithCACutoff(t *testing.T) {
+	// Two fully independent parallel implementations of the same
+	// physics must agree with each other.
+	pr := cutoffParams(16, 1, 1, phys.Reflective)
+	ps := phys.InitLattice(64, pr.Box, 31)
+	mp, _, err := Midpoint1D(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _, err := Cutoff(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(t, mp, ca, 1e-9)
+}
+
+func TestMidpointImportVolumeIsHalved(t *testing.T) {
+	// The midpoint method's import region spans ⌈m/2⌉ slabs per side
+	// versus m for the CA/spatial schedule, so its import (shift-phase)
+	// traffic must be roughly half — that is its raison d'être.
+	pr := cutoffParams(16, 1, 1, phys.Reflective)
+	pr.Steps = 1
+	ps := phys.InitLattice(64, pr.Box, 31)
+	_, mpRep, err := Midpoint1D(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, caRep, err := Cutoff(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpImport := mpRep.CriticalPath[trace.Shift].Bytes
+	caImport := caRep.CriticalPath[trace.Shift].Bytes + caRep.CriticalPath[trace.Skew].Bytes
+	if mpImport >= caImport {
+		t.Errorf("midpoint import %d B not below CA window traversal %d B", mpImport, caImport)
+	}
+}
+
+func TestMidpoint2DMatchesSerial(t *testing.T) {
+	cases := []struct{ p, n int }{
+		{16, 64}, // 4x4 grid, m=1 -> mHalf=1
+		{16, 96},
+		{64, 128}, // 8x8 grid, m=2 -> mHalf=1
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/n=%d", tc.p, tc.n), func(t *testing.T) {
+			t.Parallel()
+			pr := cutoffParams(tc.p, 1, 2, phys.Reflective)
+			ps := phys.InitLattice(tc.n, pr.Box, 37)
+			want := serialCutoffRun(ps, pr.Law, pr.Box, pr.Steps, pr.DT)
+			got, _, err := Midpoint2D(ps, pr)
+			if err != nil {
+				t.Fatalf("Midpoint2D: %v", err)
+			}
+			checkAgainst(t, got, want, 1e-9)
+		})
+	}
+}
+
+func TestMidpoint2DAgreesWithCACutoff(t *testing.T) {
+	pr := cutoffParams(16, 1, 2, phys.Reflective)
+	pr.Steps = 5
+	ps := phys.InitLattice(80, pr.Box, 43)
+	mp, _, err := Midpoint2D(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _, err := Cutoff(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(t, mp, ca, 1e-9)
+}
+
+func TestMidpoint2DRejectsWrongDim(t *testing.T) {
+	pr := cutoffParams(16, 1, 1, phys.Reflective)
+	ps := phys.InitLattice(64, pr.Box, 1)
+	if _, _, err := Midpoint2D(ps, pr); err == nil {
+		t.Error("1D box into Midpoint2D should error")
+	}
+	pr2 := cutoffParams(8, 1, 2, phys.Reflective) // 8 is not a perfect square
+	ps2 := phys.InitLattice(64, pr2.Box, 1)
+	if _, _, err := Midpoint2D(ps2, pr2); err == nil {
+		t.Error("non-square p should error")
+	}
+}
+
+func TestMidpointValidation(t *testing.T) {
+	ps := phys.InitLattice(64, phys.NewBox(16, 1, phys.Reflective), 1)
+	pr := cutoffParams(8, 1, 1, phys.Reflective)
+
+	noCut := pr
+	noCut.Law.Cutoff = 0
+	if _, _, err := Midpoint1D(ps, noCut); err == nil {
+		t.Error("missing cutoff should error")
+	}
+
+	dim2 := cutoffParams(16, 1, 2, phys.Reflective)
+	ps2 := phys.InitLattice(64, dim2.Box, 1)
+	if _, _, err := Midpoint1D(ps2, dim2); err == nil {
+		t.Error("2D box should error")
+	}
+
+	periodic := cutoffParams(8, 1, 1, phys.Periodic)
+	psP := phys.InitLattice(64, periodic.Box, 1)
+	if _, _, err := Midpoint1D(psP, periodic); err == nil {
+		t.Error("periodic box should error")
+	}
+
+	tooWide := pr
+	tooWide.Law.Cutoff = tooWide.Box.L * 0.6 // mHalf=2 on 4 slabs: window 5 > 4
+	tooWide.P = 4
+	if _, _, err := Midpoint1D(ps, tooWide); err == nil {
+		t.Error("oversized import region should error")
+	}
+}
+
+func TestMidpointLongRunConserves(t *testing.T) {
+	pr := cutoffParams(16, 1, 1, phys.Reflective)
+	pr.Steps = 20
+	pr.DT = 1e-3
+	ps := phys.InitLattice(96, pr.Box, 41)
+	got, _, err := Midpoint1D(ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("particle count changed: %d -> %d", len(ps), len(got))
+	}
+	want := serialCutoffRun(ps, pr.Law, pr.Box, pr.Steps, pr.DT)
+	checkAgainst(t, got, want, 1e-8)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestCutoffScheduleCoversWindowExactlyOnce3D(t *testing.T) {
+	// The 3D generalization: every offset of the (2m+1)³ import region
+	// is delivered exactly once across layers and steps.
+	for m := 1; m <= 2; m++ {
+		w := topo.WindowSize(m, 3)
+		for _, c := range []int{1, 2, 3, 5, 8, w} {
+			s, err := NewCutoffSchedule(m, c, 3)
+			if err != nil {
+				t.Fatalf("m=%d c=%d: %v", m, c, err)
+			}
+			cov := s.Coverage()
+			if len(cov) != w {
+				t.Fatalf("m=%d c=%d: covered %d offsets, want %d", m, c, len(cov), w)
+			}
+			for off, cnt := range cov {
+				if cnt != 1 || off.Chebyshev() > m {
+					t.Fatalf("m=%d c=%d: offset %+v count %d", m, c, off, cnt)
+				}
+			}
+		}
+	}
+}
+
+func TestCutoffScheduleCoversWindowExactlyOnce(t *testing.T) {
+	for dim := 1; dim <= 2; dim++ {
+		for m := 1; m <= 6; m++ {
+			w := topo.WindowSize(m, dim)
+			for c := 1; c <= w; c++ {
+				s, err := NewCutoffSchedule(m, c, dim)
+				if err != nil {
+					t.Fatalf("m=%d c=%d dim=%d: %v", m, c, dim, err)
+				}
+				cov := s.Coverage()
+				if len(cov) != w {
+					t.Fatalf("m=%d c=%d dim=%d: covered %d offsets, want %d", m, c, dim, len(cov), w)
+				}
+				for off, cnt := range cov {
+					if cnt != 1 {
+						t.Fatalf("m=%d c=%d dim=%d: offset %+v covered %d times", m, c, dim, off, cnt)
+					}
+					if off.Chebyshev() > m {
+						t.Fatalf("m=%d c=%d dim=%d: offset %+v outside window", m, c, dim, off)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCutoffScheduleStepCounts(t *testing.T) {
+	for dim := 1; dim <= 2; dim++ {
+		for m := 1; m <= 5; m++ {
+			w := topo.WindowSize(m, dim)
+			for c := 1; c <= w; c++ {
+				s, _ := NewCutoffSchedule(m, c, dim)
+				total := 0
+				for k := 0; k < c; k++ {
+					steps := s.Steps(k)
+					total += steps
+					if steps > s.MaxSteps() {
+						t.Fatalf("layer %d exceeds MaxSteps", k)
+					}
+					if got := len(s.LayerOffsets(k)); got != steps {
+						t.Fatalf("LayerOffsets len %d != Steps %d", got, steps)
+					}
+				}
+				if total != w {
+					t.Fatalf("m=%d c=%d dim=%d: total steps %d != window %d", m, c, dim, total, w)
+				}
+				// The paper's O(m/c) step bound: ⌈w/c⌉.
+				if want := (w + c - 1) / c; s.MaxSteps() != want {
+					t.Fatalf("MaxSteps %d, want ⌈%d/%d⌉=%d", s.MaxSteps(), w, c, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCutoffScheduleMovesAreLocal(t *testing.T) {
+	// Serpentine moves must span at most max(skew reach, stride reach):
+	// the skew reaches up to m; a c-stride jump spans at most c unit
+	// steps of the serpentine path, each of which is adjacent.
+	for dim := 1; dim <= 2; dim++ {
+		for m := 1; m <= 5; m++ {
+			w := topo.WindowSize(m, dim)
+			for c := 1; c <= w; c++ {
+				s, _ := NewCutoffSchedule(m, c, dim)
+				bound := m
+				if c > bound {
+					bound = c
+				}
+				if got := s.MaxMoveChebyshev(); got > bound {
+					t.Fatalf("dim=%d m=%d c=%d: move of %d exceeds bound %d", dim, m, c, got, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestCutoffScheduleRejectsBadParams(t *testing.T) {
+	cases := []struct{ m, c, dim int }{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 4, 1},  // c > window of 3
+		{1, 10, 2}, // c > window of 9
+		{2, 1, 4},  // bad dim
+	}
+	for _, tc := range cases {
+		if _, err := NewCutoffSchedule(tc.m, tc.c, tc.dim); err == nil {
+			t.Errorf("m=%d c=%d dim=%d: expected error", tc.m, tc.c, tc.dim)
+		}
+	}
+}
+
+func TestSerpentineAdjacency(t *testing.T) {
+	for dim := 1; dim <= 3; dim++ {
+		maxM := 6
+		if dim == 3 {
+			maxM = 3
+		}
+		for m := 1; m <= maxM; m++ {
+			seq := topo.Serpentine(m, dim)
+			for i := 1; i < len(seq); i++ {
+				d := topo.Offset{
+					DX: seq[i].DX - seq[i-1].DX,
+					DY: seq[i].DY - seq[i-1].DY,
+					DZ: seq[i].DZ - seq[i-1].DZ,
+				}
+				if d.Chebyshev() != 1 {
+					t.Fatalf("dim=%d m=%d: entries %d,%d not adjacent: %+v -> %+v",
+						dim, m, i-1, i, seq[i-1], seq[i])
+				}
+			}
+		}
+	}
+}
+
+func ExampleCutoffSchedule() {
+	s, _ := NewCutoffSchedule(2, 2, 1)
+	for k := 0; k < s.C; k++ {
+		fmt.Printf("layer %d: %v\n", k, s.LayerOffsets(k))
+	}
+	// Output:
+	// layer 0: [{-2 0 0} {0 0 0} {2 0 0}]
+	// layer 1: [{-1 0 0} {1 0 0}]
+}

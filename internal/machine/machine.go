@@ -1,0 +1,201 @@
+// Package machine describes the two distributed-memory systems of the
+// paper's evaluation — Hopper (Cray XE-6, Gemini 3D torus) and Intrepid
+// (IBM BlueGene/P, 3D torus plus a hardware collective tree) — as
+// parameter sets for the analytic performance model in internal/model
+// and the event-driven network simulator in internal/netsim.
+//
+// The figures the paper reports are *shapes* (time-per-timestep
+// breakdowns versus c, strong-scaling efficiency curves); reproducing
+// them requires the relative magnitudes of computation rate,
+// point-to-point latency, per-hop latency, link bandwidth and collective
+// software overhead to be right, not the absolute values of a machine we
+// cannot access. The constants below are calibrated from public
+// specifications of the two systems and from the anchor points of the
+// paper's Figure 2; each field documents its role.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topo"
+)
+
+// Machine is a cost-model description of a distributed-memory system.
+// All times are in seconds, bandwidths in seconds per byte.
+type Machine struct {
+	Name string
+
+	// CoresPerNode is the number of MPI ranks placed per node; ranks on
+	// one node communicate through shared memory.
+	CoresPerNode int
+
+	// InteractionTime is the time one core needs for a single pairwise
+	// force evaluation (the paper's 52-byte particles with a repulsive
+	// 1/r² force).
+	InteractionTime float64
+
+	// MemoryPerRank is the memory available to one rank in bytes. The
+	// replication factor is memory-limited (Equation 4: M = c·n/p), so
+	// the models reject configurations whose replicated working set
+	// exceeds this budget.
+	MemoryPerRank float64
+
+	// Alpha is the point-to-point message startup latency between nodes;
+	// AlphaLocal within a node.
+	Alpha      float64
+	AlphaLocal float64
+
+	// Beta is the per-byte transfer time across a torus link; BetaLocal
+	// within a node.
+	Beta      float64
+	BetaLocal float64
+
+	// HopLatency is the additional latency per torus link traversed.
+	HopLatency float64
+
+	// ShiftOverhead is the extra per-message software/contention cost
+	// paid during bulk-synchronous phases in which every rank of the
+	// partition exchanges simultaneously (the skew/shift steps): message
+	// matching, buffer packing and shared injection-FIFO pressure. It is
+	// the main calibration knob for the c = 1 communication cost.
+	ShiftOverhead float64
+
+	// CollAlpha is the per-stage software overhead of a tree collective.
+	// CollPenalty·c²·(p/CollRefP)^1.5 is the super-logarithmic cost of a
+	// c-member collective on a p-rank partition — contention among the
+	// p/c simultaneous team collectives whose strided members span the
+	// whole torus. This term is the effect the paper identifies
+	// ("collectives fail to scale logarithmically") as the reason
+	// maximal replication is not optimal in practice.
+	CollAlpha   float64
+	CollPenalty float64
+	CollRefP    float64
+
+	// Bidirectional reports whether torus links carry traffic both ways
+	// simultaneously; the paper's topology-aware Intrepid runs exploit
+	// this to double shift bandwidth (Section III-C).
+	Bidirectional bool
+
+	// HWTree describes an optional dedicated collective network
+	// (Intrepid's tree), used by the c=1 "tree" configuration of
+	// Figure 2c/2d. HWTreeBeta is its per-byte time; HWTreeAlpha its
+	// startup cost.
+	HWTree      bool
+	HWTreeAlpha float64
+	HWTreeBeta  float64
+}
+
+// Hopper returns the Cray XE-6 model: 24 cores per node at 2.1 GHz on a
+// Gemini 3D torus. Calibrated against the anchor points of Figures 2a,
+// 2b and 3a jointly: compute share, the c = 1 shift cost, and the
+// interior optimum c = 16 at 24,576 cores.
+func Hopper() Machine {
+	return Machine{
+		Name:            "Hopper (Cray XE-6)",
+		CoresPerNode:    24,
+		InteractionTime: 1.0e-7, // unvectorized 2D 1/r² pair incl. sqrt
+		MemoryPerRank:   1.33e9, // 32 GB per 24-core node
+		Alpha:           1.8e-6,
+		AlphaLocal:      1.2e-6,
+		Beta:            1.8e-10, // ~5.5 GB/s effective per-link
+		BetaLocal:       6.0e-11,
+		HopLatency:      1.0e-7,
+		ShiftOverhead:   1.3e-6,
+		CollAlpha:       6.0e-6,
+		CollPenalty:     7.0e-7,
+		CollRefP:        24576,
+		Bidirectional:   true,
+	}
+}
+
+// Intrepid returns the IBM BlueGene/P model: 4 cores per node at
+// 850 MHz on a 3D torus, with the hardware collective tree network.
+// Calibrated against Figures 2c and 2d: the compute share, the c = 1
+// no-tree shift cost (whose reduction at the best c is the paper's
+// 99.5 % claim), and the tree-network allgather.
+func Intrepid() Machine {
+	return Machine{
+		Name:            "Intrepid (IBM BlueGene/P)",
+		CoresPerNode:    4,
+		InteractionTime: 1.6e-7, // slow in-order PPC450 core
+		MemoryPerRank:   5.12e8, // 2 GB per 4-core node
+		Alpha:           3.5e-6,
+		AlphaLocal:      2.0e-6,
+		Beta:            2.6e-9, // 425 MB/s per torus link
+		BetaLocal:       8.0e-10,
+		HopLatency:      1.0e-7,
+		ShiftOverhead:   1.2e-5,
+		CollAlpha:       8.0e-6,
+		CollPenalty:     1.0e-6,
+		CollRefP:        32768,
+		Bidirectional:   true,
+		HWTree:          true,
+		HWTreeAlpha:     5.0e-6,
+		HWTreeBeta:      1.5e-9, // ~700 MB/s tree payload rate
+	}
+}
+
+// Generic returns a neutral machine useful for tests and examples: a
+// single-core-per-node torus with round numbers.
+func Generic() Machine {
+	return Machine{
+		Name:            "Generic",
+		CoresPerNode:    1,
+		InteractionTime: 1.0e-7,
+		MemoryPerRank:   1.0e9,
+		Alpha:           1.0e-6,
+		AlphaLocal:      1.0e-6,
+		Beta:            1.0e-9,
+		BetaLocal:       1.0e-9,
+		HopLatency:      1.0e-7,
+		ShiftOverhead:   1.0e-6,
+		CollAlpha:       2.0e-6,
+		CollPenalty:     5.0e-7,
+		CollRefP:        1024,
+		Bidirectional:   false,
+	}
+}
+
+// TorusFor returns the near-cubic torus partition hosting p ranks on
+// this machine.
+func (m Machine) TorusFor(p int) topo.Torus {
+	x, y, z := topo.Balanced3D(p, m.CoresPerNode)
+	t, err := topo.NewTorus(x, y, z, m.CoresPerNode)
+	if err != nil {
+		panic(fmt.Sprintf("machine: %v", err)) // unreachable: Balanced3D yields positive dims
+	}
+	return t
+}
+
+// P2PTime prices one point-to-point message of the given payload between
+// ranks a and b on a partition of p ranks: startup, per-hop latency and
+// serialization. Same-node messages use the shared-memory constants.
+func (m Machine) P2PTime(tor topo.Torus, a, b, bytes int) float64 {
+	hops := tor.Hops(a, b)
+	if hops == 0 {
+		return m.AlphaLocal + float64(bytes)*m.BetaLocal
+	}
+	return m.Alpha + float64(hops)*m.HopLatency + float64(bytes)*m.Beta
+}
+
+// SendrecvTime prices one bulk-synchronous exchange step between ranks a
+// and b (distance |a-b| in rank space): both the outgoing and incoming
+// payload cross the rank's injection path, and each message pays the
+// bulk-phase overhead.
+func (m Machine) SendrecvTime(tor topo.Torus, a, b, bytes int) float64 {
+	return 2 * (m.P2PTime(tor, a, b, bytes) + m.ShiftOverhead)
+}
+
+// CollectivePenalty returns the super-logarithmic overhead of a c-member
+// collective on a p-rank partition.
+func (m Machine) CollectivePenalty(c, p int) float64 {
+	if c <= 1 {
+		return 0
+	}
+	scale := 1.0
+	if m.CollRefP > 0 {
+		scale = math.Pow(float64(p)/m.CollRefP, 1.5)
+	}
+	return m.CollPenalty * float64(c) * float64(c) * scale
+}

@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"testing"
+)
+
+func TestMachineCatalog(t *testing.T) {
+	for _, m := range []Machine{Hopper(), Intrepid(), Generic()} {
+		if m.Name == "" || m.CoresPerNode <= 0 || m.InteractionTime <= 0 {
+			t.Errorf("%s: incomplete spec %+v", m.Name, m)
+		}
+		if m.Alpha <= 0 || m.Beta <= 0 || m.HopLatency <= 0 {
+			t.Errorf("%s: non-positive network constants", m.Name)
+		}
+	}
+	if !Intrepid().HWTree {
+		t.Error("Intrepid must model the hardware tree network")
+	}
+	if Hopper().HWTree {
+		t.Error("Hopper has no hardware tree network")
+	}
+	// The two machines differ where the paper's results differ: Intrepid
+	// cores are slower and its per-message costs higher.
+	if Intrepid().InteractionTime <= Hopper().InteractionTime {
+		t.Error("Intrepid cores should be slower than Hopper's")
+	}
+}
+
+func TestTorusForCoversRanks(t *testing.T) {
+	for _, p := range []int{1, 24, 6144, 24576, 32768} {
+		for _, m := range []Machine{Hopper(), Intrepid()} {
+			tor := m.TorusFor(p)
+			if tor.Ranks() < p {
+				t.Errorf("%s: torus for p=%d hosts only %d ranks", m.Name, p, tor.Ranks())
+			}
+		}
+	}
+}
+
+func TestP2PTimeRegimes(t *testing.T) {
+	m := Hopper()
+	tor := m.TorusFor(24576)
+	local := m.P2PTime(tor, 0, 1, 1000) // same node (24 cores/node)
+	remote := m.P2PTime(tor, 0, 25, 1000)
+	if local >= remote {
+		t.Errorf("intra-node message (%.3g) should be cheaper than inter-node (%.3g)", local, remote)
+	}
+	// Farther destinations pay more hops.
+	far := m.P2PTime(tor, 0, 24*100, 1000)
+	if far <= remote {
+		t.Errorf("distant message (%.3g) not dearer than neighbor (%.3g)", far, remote)
+	}
+	// Bigger payloads take longer.
+	if m.P2PTime(tor, 0, 25, 100000) <= remote {
+		t.Error("payload size ignored")
+	}
+}
+
+func TestSendrecvTimeIncludesBothDirections(t *testing.T) {
+	m := Generic()
+	tor := m.TorusFor(64)
+	if m.SendrecvTime(tor, 0, 1, 100) <= m.P2PTime(tor, 0, 1, 100) {
+		t.Error("sendrecv should cost more than one one-way message")
+	}
+}
+
+func TestCollectivePenaltyShape(t *testing.T) {
+	m := Hopper()
+	if m.CollectivePenalty(1, 24576) != 0 {
+		t.Error("single-member collective should be free")
+	}
+	// Quadratic in c.
+	p16 := m.CollectivePenalty(16, 24576)
+	p32 := m.CollectivePenalty(32, 24576)
+	if p32 != 4*p16 {
+		t.Errorf("penalty not quadratic: c=16 %g, c=32 %g", p16, p32)
+	}
+	// Grows with machine size.
+	if m.CollectivePenalty(16, 6144) >= p16 {
+		t.Error("penalty should grow with partition size")
+	}
+}

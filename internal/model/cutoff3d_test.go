@@ -1,0 +1,75 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestCutoff3DEvaluates(t *testing.T) {
+	b, err := Evaluate(Config{Machine: machine.Hopper(), Alg: Cutoff3D, P: 32768, N: 262144, C: 4, RcFrac: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() <= 0 || b.Comm() <= 0 {
+		t.Fatalf("implausible 3D breakdown %+v", b)
+	}
+	if Cutoff3D.String() != "cutoff-3d" {
+		t.Error("missing name")
+	}
+}
+
+func TestHigherDimensionsBenefitMoreFromReplication(t *testing.T) {
+	// Section IV-C: "Communication avoidance becomes especially
+	// important in higher dimensions because the number of neighbors is
+	// exponential in the dimensionality." Measure the communication
+	// reduction from c=1 to c=8 per dimension on a fixed machine and
+	// problem; the relative gain must not shrink with dimension.
+	const p, n = 32768, 262144
+	gain := func(alg Algorithm) float64 {
+		b1, err := Evaluate(Config{Machine: machine.Hopper(), Alg: alg, P: p, N: n, C: 1, RcFrac: 0.25})
+		if err != nil {
+			t.Fatalf("%v c=1: %v", alg, err)
+		}
+		b8, err := Evaluate(Config{Machine: machine.Hopper(), Alg: alg, P: p, N: n, C: 8, RcFrac: 0.25})
+		if err != nil {
+			t.Fatalf("%v c=8: %v", alg, err)
+		}
+		// Compare the shift phase (the window traversal the import
+		// region's size drives).
+		return b1.Shift / b8.Shift
+	}
+	g1, g2, g3 := gain(Cutoff1D), gain(Cutoff2D), gain(Cutoff3D)
+	if g1 <= 1 || g2 <= 1 || g3 <= 1 {
+		t.Fatalf("replication should reduce shift cost in every dimension: %g %g %g", g1, g2, g3)
+	}
+	t.Logf("shift-phase gain c=1→8: 1D %.2fx, 2D %.2fx, 3D %.2fx", g1, g2, g3)
+}
+
+func TestCutoff3DReplicationHelps(t *testing.T) {
+	// In 3D the boundary-imbalance wait is strong (a majority of teams
+	// touch a reflective boundary), so communication is not monotone in
+	// c — but an interior replication factor must still beat c=1
+	// decisively on total time.
+	evalTotal := func(c int) float64 {
+		b, err := Evaluate(Config{Machine: machine.Hopper(), Alg: Cutoff3D, P: 32768, N: 262144, C: c, RcFrac: 0.25})
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		return b.Total()
+	}
+	base := evalTotal(1)
+	best := base
+	bestC := 1
+	for _, c := range []int{2, 4, 8, 16} {
+		if tot := evalTotal(c); tot < best {
+			best, bestC = tot, c
+		}
+	}
+	if bestC == 1 {
+		t.Fatal("replication should help in 3D")
+	}
+	if best > 0.8*base {
+		t.Errorf("best c=%d saves only %.1f%% over c=1; expected at least 20%%", bestC, 100*(1-best/base))
+	}
+}

@@ -1,0 +1,56 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestMemoryLimitRejectsLargeReplication(t *testing.T) {
+	// A deliberately tiny per-rank memory: 10k particles on 4 ranks at
+	// c=2 needs 3·2·2500·52 = 780 kB per rank.
+	mach := machine.Generic()
+	mach.MemoryPerRank = 500e3
+	if _, err := Evaluate(Config{Machine: mach, Alg: AllPairs, P: 4, N: 10000, C: 2}); err == nil {
+		t.Fatal("expected memory-limit error")
+	} else if !strings.Contains(err.Error(), "exceeding") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// c=1 fits.
+	if _, err := Evaluate(Config{Machine: mach, Alg: AllPairs, P: 4, N: 10000, C: 1}); err != nil {
+		t.Fatalf("c=1 should fit: %v", err)
+	}
+}
+
+func TestPaperConfigurationsFitInMemory(t *testing.T) {
+	// All of the paper's experiments use tiny per-rank particle counts
+	// (nc/p ≤ a few thousand), so every plotted c must be
+	// memory-feasible on the real machine specs.
+	for _, tc := range []struct {
+		mach machine.Machine
+		p, n int
+		cs   []int
+	}{
+		{machine.Hopper(), 24576, 196608, []int{1, 16, 64}},
+		{machine.Intrepid(), 32768, 262144, []int{1, 32, 128}},
+	} {
+		for _, c := range tc.cs {
+			if err := checkMemory(Config{Machine: tc.mach, P: tc.p, N: tc.n, C: c}); err != nil {
+				t.Errorf("%s p=%d c=%d: %v", tc.mach.Name, tc.p, c, err)
+			}
+		}
+	}
+}
+
+func TestMaxFeasibleC(t *testing.T) {
+	// 1 MB per rank, 1000 particles on 10 ranks: working set per c is
+	// 3·100·52 = 15.6 kB, so c up to 64.
+	if got := MaxFeasibleC(1000, 10, 1e6); got != 64 {
+		t.Errorf("MaxFeasibleC = %d, want 64", got)
+	}
+	// Never below 1.
+	if got := MaxFeasibleC(1000000, 1, 100); got != 1 {
+		t.Errorf("MaxFeasibleC floor = %d, want 1", got)
+	}
+}

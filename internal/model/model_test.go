@@ -1,0 +1,248 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func hopperCfg(alg Algorithm, p, n, c int, rc float64) Config {
+	return Config{Machine: machine.Hopper(), Alg: alg, P: p, N: n, C: c, RcFrac: rc}
+}
+
+func TestEvaluateRejectsInfeasibleConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero p", hopperCfg(AllPairs, 0, 100, 1, 0)},
+		{"c does not divide p", hopperCfg(AllPairs, 10, 100, 3, 0)},
+		{"c beyond sqrt p", hopperCfg(AllPairs, 16, 100, 8, 0)},
+		{"naive tree with c>1", Config{Machine: machine.Intrepid(), Alg: NaiveTree, P: 16, N: 100, C: 2}},
+		{"naive tree without hardware", Config{Machine: machine.Hopper(), Alg: NaiveTree, P: 16, N: 100, C: 1}},
+		{"cutoff without radius", hopperCfg(Cutoff1D, 16, 100, 1, 0)},
+		{"cutoff radius too large", hopperCfg(Cutoff1D, 16, 100, 1, 0.9)},
+		{"cutoff window too big for grid", hopperCfg(Cutoff1D, 4, 100, 2, 0.45)},
+	}
+	for _, tc := range cases {
+		if _, err := Evaluate(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestComputeTimeIndependentOfC(t *testing.T) {
+	// All-pairs work is perfectly load balanced at every c (n²/p pair
+	// evaluations per rank), so modeled compute must not vary with c.
+	base, err := Evaluate(hopperCfg(AllPairs, 24576, 196608, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []int{2, 4, 8, 16, 32, 64} {
+		b, err := Evaluate(hopperCfg(AllPairs, 24576, 196608, c, 0))
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if b.Compute != base.Compute {
+			t.Errorf("c=%d: compute %.6g differs from c=1's %.6g", c, b.Compute, base.Compute)
+		}
+	}
+}
+
+func TestSmallCReplicationMoreThanHalvesCommunication(t *testing.T) {
+	// The paper: "As c increases, we see communication costs
+	// more-than-halving until c=16" (Hopper, 24K cores).
+	prev := math.Inf(1)
+	for _, c := range []int{1, 2, 4, 8, 16} {
+		b, err := Evaluate(hopperCfg(AllPairs, 24576, 196608, c, 0))
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if comm := b.Comm(); comm > prev/2 {
+			t.Errorf("c=%d: comm %.6f not less than half of previous %.6f", c, comm, prev)
+		} else {
+			prev = comm
+		}
+	}
+}
+
+func TestInteriorOptimumOnLargeHopper(t *testing.T) {
+	// Figure 2b: best performance at c=16, not at the maximal
+	// replication factor.
+	totals := map[int]float64{}
+	bestC, bestT := 0, math.Inf(1)
+	for _, c := range []int{1, 2, 4, 8, 16, 32, 64} {
+		b, err := Evaluate(hopperCfg(AllPairs, 24576, 196608, c, 0))
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		totals[c] = b.Total()
+		if b.Total() < bestT {
+			bestC, bestT = c, b.Total()
+		}
+	}
+	if bestC != 16 {
+		t.Errorf("best c = %d (total %.5f), want 16; totals: %v", bestC, bestT, totals)
+	}
+	if totals[64] <= totals[16] {
+		t.Errorf("c=64 (%.5f) should be slower than c=16 (%.5f)", totals[64], totals[16])
+	}
+}
+
+func TestSmallHopperMonotoneCommunication(t *testing.T) {
+	// Figure 2a: on 6,144 cores communication decreases monotonically
+	// with c. At the tail the curve plateaus; an uptick below 10% of a
+	// value that is ~2% of the total is invisible at the figure's
+	// resolution, so the check allows it.
+	prev := math.Inf(1)
+	for _, c := range []int{1, 2, 4, 8, 16, 32} {
+		b, err := Evaluate(hopperCfg(AllPairs, 6144, 24576, c, 0))
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if comm := b.Comm(); comm > prev*1.10 {
+			t.Errorf("c=%d: comm %.6f exceeds previous %.6f", c, comm, prev)
+		} else if comm < prev {
+			prev = comm
+		}
+	}
+}
+
+func TestTopologyAwareShiftsAreFaster(t *testing.T) {
+	// Section III-C: bidirectional torus links double effective shift
+	// bandwidth on Intrepid.
+	plain := Config{Machine: machine.Intrepid(), Alg: AllPairs, P: 8192, N: 262144, C: 4}
+	aware := plain
+	aware.TopologyAware = true
+	bp, err := Evaluate(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Evaluate(aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.Shift >= bp.Shift {
+		t.Errorf("topology-aware shift %.6f not faster than plain %.6f", ba.Shift, bp.Shift)
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	for _, c := range []int{1, 4, 16, 64} {
+		eff, err := Efficiency(hopperCfg(AllPairs, 24576, 196608, c, 0))
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if eff <= 0 || eff > 1 {
+			t.Errorf("c=%d: efficiency %.4f outside (0, 1]", c, eff)
+		}
+	}
+	// Right replication gives near-perfect strong scaling (Figure 3a).
+	eff16, _ := Efficiency(hopperCfg(AllPairs, 24576, 196608, 16, 0))
+	if eff16 < 0.95 {
+		t.Errorf("c=16 efficiency %.4f, want near-perfect (>0.95)", eff16)
+	}
+	eff1, _ := Efficiency(hopperCfg(AllPairs, 24576, 196608, 1, 0))
+	if eff1 > 0.75 {
+		t.Errorf("c=1 efficiency %.4f unexpectedly high; communication should hurt it", eff1)
+	}
+}
+
+func TestCutoffComputeRoughlyConstantInC(t *testing.T) {
+	// With a cutoff, per-rank work is n·k/p up to the ⌈window/c⌉
+	// quantization; it must stay within 50% of the c=1 value.
+	base, err := Evaluate(hopperCfg(Cutoff1D, 24576, 196608, 1, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []int{2, 4, 8, 16, 32} {
+		b, err := Evaluate(hopperCfg(Cutoff1D, 24576, 196608, c, 0.25))
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if b.Compute < base.Compute || b.Compute > 1.5*base.Compute {
+			t.Errorf("c=%d: cutoff compute %.6f outside [1, 1.5]× of c=1's %.6f", c, b.Compute, base.Compute)
+		}
+	}
+}
+
+func TestCutoffReduceGrowsConsiderablyAtLargeC(t *testing.T) {
+	// Section IV-D-1: "for large c the cost of the reduction step grows
+	// considerably".
+	small, err := Evaluate(hopperCfg(Cutoff1D, 24576, 196608, 4, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Evaluate(hopperCfg(Cutoff1D, 24576, 196608, 64, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Reduce < 10*small.Reduce {
+		t.Errorf("reduce at c=64 (%.6f) not considerably larger than at c=4 (%.6f)", large.Reduce, small.Reduce)
+	}
+}
+
+func TestCutoffShiftStagnates(t *testing.T) {
+	// Section IV-D-1: shift costs stagnate after a few c values instead
+	// of approaching zero, due to boundary load imbalance.
+	b16, err := Evaluate(hopperCfg(Cutoff1D, 24576, 196608, 16, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b64, err := Evaluate(hopperCfg(Cutoff1D, 24576, 196608, 64, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b64.Shift < b16.Shift/2 {
+		t.Errorf("cutoff shift kept shrinking: c=16 %.6f -> c=64 %.6f; expected stagnation", b16.Shift, b64.Shift)
+	}
+	// Contrast with all-pairs, where shift does keep shrinking fast.
+	a16, _ := Evaluate(hopperCfg(AllPairs, 24576, 196608, 16, 0))
+	a64, _ := Evaluate(hopperCfg(AllPairs, 24576, 196608, 64, 0))
+	if a64.Shift > a16.Shift/2 {
+		t.Errorf("all-pairs shift should keep shrinking: c=16 %.6f -> c=64 %.6f", a16.Shift, a64.Shift)
+	}
+}
+
+func TestNaiveTreeBeatsNoTreeOnlyAtC1(t *testing.T) {
+	// Figure 2c: the hardware tree helps the naive c=1 algorithm, but
+	// the replicated algorithm on the plain torus eventually wins.
+	tree, err := Evaluate(Config{Machine: machine.Intrepid(), Alg: NaiveTree, P: 8192, N: 32768, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTree, err := Evaluate(Config{Machine: machine.Intrepid(), Alg: AllPairs, P: 8192, N: 32768, C: 1, TopologyAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, c := range []int{2, 4, 8, 16, 32, 64} {
+		b, err := Evaluate(Config{Machine: machine.Intrepid(), Alg: AllPairs, P: 8192, N: 32768, C: c, TopologyAware: true})
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if b.Total() < best {
+			best = b.Total()
+		}
+	}
+	if tree.Total() >= noTree.Total() {
+		t.Errorf("tree c=1 (%.5f) should beat no-tree c=1 (%.5f)", tree.Total(), noTree.Total())
+	}
+	if best >= tree.Total() {
+		t.Errorf("best replicated run (%.5f) should beat the hardware tree (%.5f)", best, tree.Total())
+	}
+}
+
+func TestSerialTimeByAlgorithm(t *testing.T) {
+	cfg := hopperCfg(AllPairs, 16, 1000, 1, 0)
+	all := SerialTime(cfg)
+	cfg.Alg = Cutoff1D
+	cfg.RcFrac = 0.25
+	cut1 := SerialTime(cfg)
+	cfg.Alg = Cutoff2D
+	cut2 := SerialTime(cfg)
+	if !(cut2 < cut1 && cut1 < all) {
+		t.Errorf("expected serial times cutoff2D (%.3g) < cutoff1D (%.3g) < all-pairs (%.3g)", cut2, cut1, all)
+	}
+}

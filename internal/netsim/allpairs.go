@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/phys"
+	"repro/internal/topo"
+)
+
+// AllPairsStep simulates one timestep of the communication-avoiding
+// all-pairs algorithm, message by message with link contention, and
+// returns the per-phase critical-path breakdown. It is the event-driven
+// counterpart of model.Evaluate for the AllPairs algorithm.
+func AllPairsStep(mach machine.Machine, p, n, c int) (model.Breakdown, error) {
+	if c <= 0 || p <= 0 || p%c != 0 || p%(c*c) != 0 {
+		return model.Breakdown{}, fmt.Errorf("netsim: infeasible all-pairs config p=%d c=%d", p, c)
+	}
+	grid, err := topo.NewGrid(p, c)
+	if err != nil {
+		return model.Breakdown{}, err
+	}
+	T := p / c
+	npt := float64(n) / float64(T)
+	partBytes := int(math.Ceil(npt * phys.WireSize))
+	forceBytes := int(math.Ceil(npt * 16))
+	perStepWork := npt * npt * mach.InteractionTime
+	steps := p / (c * c)
+
+	s := NewSim(mach, p)
+	var b model.Breakdown
+
+	// (1) Team broadcasts, all columns concurrently.
+	s.Mark()
+	for col := 0; col < T; col++ {
+		s.Bcast(grid.TeamRanks(col), partBytes)
+	}
+	s.ClosePhase("bcast")
+	b.Bcast = s.Phase("bcast")
+
+	// (2) Skew: row k shifts east by k.
+	s.Mark()
+	var msgs []Message
+	for row := 1; row < c; row++ {
+		for col := 0; col < T; col++ {
+			src := grid.Rank(row, col)
+			dst := grid.RowShift(src, row)
+			if dst != src {
+				msgs = append(msgs, Message{Src: src, Dst: dst, Bytes: partBytes})
+			}
+		}
+	}
+	s.Round(msgs)
+	s.ClosePhase("skew")
+	b.Skew = s.Phase("skew")
+
+	// (3) Shift-and-update rounds.
+	for i := 0; i < steps; i++ {
+		if c < T {
+			s.Mark()
+			msgs = msgs[:0]
+			for r := 0; r < p; r++ {
+				dst := grid.RowShift(r, c)
+				if dst != r {
+					msgs = append(msgs, Message{Src: r, Dst: dst, Bytes: partBytes})
+				}
+			}
+			s.Round(msgs)
+			s.ClosePhase("shift")
+		}
+		for r := 0; r < p; r++ {
+			s.Compute(r, perStepWork)
+		}
+	}
+	b.Shift = s.Phase("shift")
+	b.Compute = float64(steps) * perStepWork
+
+	// (4) Team reductions.
+	s.Mark()
+	for col := 0; col < T; col++ {
+		s.Reduce(grid.TeamRanks(col), forceBytes)
+	}
+	s.ClosePhase("reduce")
+	b.Reduce = s.Phase("reduce")
+	return b, nil
+}

@@ -1,0 +1,181 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/phys"
+	"repro/internal/topo"
+)
+
+// Cutoff1DStep simulates one timestep of the 1D distance-limited
+// algorithm through the event-driven network. See CutoffStep.
+func Cutoff1DStep(mach machine.Machine, p, n, c int, rcFrac float64) (model.Breakdown, error) {
+	return CutoffStep(mach, p, n, c, rcFrac, 1)
+}
+
+// Cutoff2DStep simulates the 2D serpentine generalization. See
+// CutoffStep.
+func Cutoff2DStep(mach machine.Machine, p, n, c int, rcFrac float64) (model.Breakdown, error) {
+	return CutoffStep(mach, p, n, c, rcFrac, 2)
+}
+
+// CutoffStep simulates one timestep of the distance-limited algorithm
+// through the event-driven network: it executes the *actual*
+// CutoffSchedule (skew and c-stride serpentine moves per layer, with
+// per-layer step counts), charges compute only for in-grid source teams
+// — so the boundary load imbalance the paper discusses emerges naturally
+// from the event ordering — and finishes with team reductions and a
+// neighbor migration round.
+func CutoffStep(mach machine.Machine, p, n, c int, rcFrac float64, dim int) (model.Breakdown, error) {
+	if c <= 0 || p <= 0 || p%c != 0 {
+		return model.Breakdown{}, fmt.Errorf("netsim: infeasible cutoff config p=%d c=%d", p, c)
+	}
+	T := p / c
+	tg, err := topo.NewTeamGrid(T, dim)
+	if err != nil {
+		return model.Breakdown{}, err
+	}
+	mSpan := int(math.Ceil(rcFrac*float64(tg.Side) - 1e-9))
+	if mSpan < 1 {
+		mSpan = 1
+	}
+	if 2*mSpan+1 > tg.Side {
+		return model.Breakdown{}, fmt.Errorf("netsim: window 2m+1=%d exceeds grid side %d", 2*mSpan+1, tg.Side)
+	}
+	sched, err := core.NewCutoffSchedule(mSpan, c, dim)
+	if err != nil {
+		return model.Breakdown{}, err
+	}
+	grid, err := topo.NewGrid(p, c)
+	if err != nil {
+		return model.Breakdown{}, err
+	}
+	npt := float64(n) / float64(T)
+	partBytes := int(math.Ceil(npt * phys.WireSize))
+	forceBytes := int(math.Ceil(npt * 16))
+	perSlotWork := npt * npt * mach.InteractionTime
+
+	s := NewSim(mach, p)
+	var b model.Breakdown
+
+	// Broadcasts down each team.
+	s.Mark()
+	for col := 0; col < T; col++ {
+		s.Bcast(grid.TeamRanks(col), partBytes)
+	}
+	s.ClosePhase("bcast")
+	b.Bcast = s.Phase("bcast")
+
+	// Schedule execution: every layer walks its window slots. srcOf
+	// tracks which team's buffer each rank currently holds (-1 = out of
+	// grid after aliasing).
+	maxSteps := sched.MaxSteps()
+	for i := 0; i < maxSteps; i++ {
+		phase := "shift"
+		if i == 0 {
+			phase = "skew"
+		}
+		s.Mark()
+		var msgs []Message
+		for layer := 0; layer < c; layer++ {
+			if i >= sched.Steps(layer) {
+				continue
+			}
+			mv := sched.Move(layer, i)
+			if mv == (topo.Offset{}) {
+				continue
+			}
+			for team := 0; team < T; team++ {
+				src := grid.Rank(layer, team)
+				to, _ := tg.Neighbor(team, mv.DX, mv.DY, true)
+				dst := grid.Rank(layer, to)
+				if dst != src {
+					msgs = append(msgs, Message{Src: src, Dst: dst, Bytes: partBytes})
+				}
+			}
+		}
+		s.Round(msgs)
+		s.ClosePhase(phase)
+		// Compute: a rank works this slot only if its source team is
+		// inside the (non-wrapping) grid — boundary teams idle, which is
+		// exactly the load imbalance of the paper's reflective domain.
+		for layer := 0; layer < c; layer++ {
+			if i >= sched.Steps(layer) {
+				continue
+			}
+			off := sched.Offset(layer, i)
+			for team := 0; team < T; team++ {
+				if _, ok := tg.Neighbor(team, off.DX, off.DY, false); ok {
+					s.Compute(grid.Rank(layer, team), perSlotWork)
+				}
+			}
+		}
+	}
+	b.Skew = s.Phase("skew")
+	b.Shift = s.Phase("shift")
+	// Report the *maximum* per-rank compute (interior teams).
+	b.Compute = float64(maxSteps) * perSlotWork
+
+	// Reductions.
+	s.Mark()
+	for col := 0; col < T; col++ {
+		s.Reduce(grid.TeamRanks(col), forceBytes)
+	}
+	s.ClosePhase("reduce")
+	b.Reduce = s.Phase("reduce")
+
+	// Migration: leaders exchange with their grid neighbors.
+	s.Mark()
+	migrBytes := int(math.Ceil(0.05*npt)) * phys.WireSize
+	var msgs []Message
+	for team := 0; team < T; team++ {
+		for dy := -1; dy <= 1; dy++ {
+			if dim == 1 && dy != 0 {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if nb, ok := tg.Neighbor(team, dx, dy, false); ok {
+					msgs = append(msgs, Message{Src: grid.Rank(0, team), Dst: grid.Rank(0, nb), Bytes: migrBytes})
+				}
+			}
+		}
+	}
+	s.Round(msgs)
+	s.ClosePhase("reassign")
+	b.Reassign = s.Phase("reassign")
+	return b, nil
+}
+
+// NaiveAllGatherStep simulates one timestep of the Section II-B particle
+// decomposition: a ring allgather of all particle data (p−1 rounds of
+// n/p-particle blocks) followed by the n²/p local interactions.
+func NaiveAllGatherStep(mach machine.Machine, p, n int) (model.Breakdown, error) {
+	if p <= 0 || n <= 0 {
+		return model.Breakdown{}, fmt.Errorf("netsim: bad naive config p=%d n=%d", p, n)
+	}
+	s := NewSim(mach, p)
+	blockBytes := int(math.Ceil(float64(n)/float64(p))) * phys.WireSize
+	var b model.Breakdown
+	s.Mark()
+	for round := 0; round < p-1; round++ {
+		msgs := make([]Message, 0, p)
+		for r := 0; r < p; r++ {
+			dst := (r + 1) % p
+			if dst != r {
+				msgs = append(msgs, Message{Src: r, Dst: dst, Bytes: blockBytes})
+			}
+		}
+		s.Round(msgs)
+	}
+	s.ClosePhase("shift")
+	b.Shift = s.Phase("shift")
+	b.Compute = float64(n) / float64(p) * float64(n) * mach.InteractionTime
+	return b, nil
+}

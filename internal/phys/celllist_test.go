@@ -1,0 +1,89 @@
+package phys
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCellListMatchesBruteForceCutoff(t *testing.T) {
+	cases := []struct {
+		dim      int
+		n        int
+		rc       float64
+		boundary Boundary
+	}{
+		{1, 60, 2.0, Reflective},
+		{1, 60, 2.0, Periodic},
+		{2, 80, 2.5, Reflective},
+		{2, 80, 2.5, Periodic},
+		{2, 50, 9.0, Reflective}, // single-cell degenerate grid
+		{2, 50, 5.0, Periodic},   // two-cell grid with wrap aliasing
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("dim=%d/rc=%.1f/%v", tc.dim, tc.rc, tc.boundary), func(t *testing.T) {
+			box := NewBox(10, tc.dim, tc.boundary)
+			law := DefaultLaw().WithCutoff(tc.rc)
+			ps := InitUniform(tc.n, box, 77)
+			want := append([]Particle(nil), ps...)
+			BruteForceCutoff(want, law, box)
+			got := append([]Particle(nil), ps...)
+			cl := NewCellList(got, tc.rc, box)
+			cl.Forces(got, law)
+			for i := range got {
+				if d := got[i].Force.Sub(want[i].Force).Norm(); d > 1e-10 {
+					t.Fatalf("particle %d: cell list force %+v vs brute %+v (|Δ|=%g)",
+						i, got[i].Force, want[i].Force, d)
+				}
+			}
+		})
+	}
+}
+
+func TestCellListValidation(t *testing.T) {
+	box := NewBox(10, 2, Reflective)
+	ps := InitUniform(10, box, 1)
+	for _, rc := range []float64{0, -1, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCellList rc=%g should panic", rc)
+				}
+			}()
+			NewCellList(ps, rc, box)
+		}()
+	}
+	cl := NewCellList(ps, 2, box)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched law cutoff should panic")
+		}
+	}()
+	cl.Forces(ps, DefaultLaw().WithCutoff(3))
+}
+
+func TestDiagnosticsConservation(t *testing.T) {
+	box := NewBox(10, 2, Reflective)
+	law := DefaultLaw()
+	ps := InitUniform(30, box, 9)
+	BruteForce(ps, law)
+	// Symmetric forces: net force ~ 0.
+	if nf := NetForce(ps); nf.Norm() > 1e-9 {
+		t.Errorf("net force %+v not ~0", nf)
+	}
+	// Momentum conserved by force evaluation away from walls.
+	m0 := Momentum(ps)
+	for i := range ps {
+		ps[i].Vel = ps[i].Vel.Add(ps[i].Force.Scale(1e-4))
+	}
+	m1 := Momentum(ps)
+	if m1.Sub(m0).Norm() > 1e-9 {
+		t.Errorf("momentum changed by %+v under symmetric kicks", m1.Sub(m0))
+	}
+	if KineticEnergy(ps) < 0 {
+		t.Error("negative kinetic energy")
+	}
+	if PotentialEnergy(ps, law) <= 0 {
+		t.Error("repulsive potential should be positive")
+	}
+}

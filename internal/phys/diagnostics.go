@@ -1,0 +1,77 @@
+package phys
+
+import "repro/internal/vec"
+
+// Momentum returns the total momentum of the system (unit masses).
+// Because the paper's force law is symmetric, total momentum is conserved
+// by the force evaluation; only wall reflections change it. Tests use
+// this to detect schedule bugs that compute a pair asymmetrically.
+func Momentum(ps []Particle) vec.Vec2 {
+	var m vec.Vec2
+	for i := range ps {
+		m = m.Add(ps[i].Vel)
+	}
+	return m
+}
+
+// NetForce returns the vector sum of all force accumulators. For a
+// symmetric pair law evaluated over every unordered pair exactly twice
+// (once per direction) the sum is zero up to rounding.
+func NetForce(ps []Particle) vec.Vec2 {
+	var f vec.Vec2
+	for i := range ps {
+		f = f.Add(ps[i].Force)
+	}
+	return f
+}
+
+// KineticEnergy returns Σ ½|v|² over all particles (unit masses).
+func KineticEnergy(ps []Particle) float64 {
+	var e float64
+	for i := range ps {
+		e += 0.5 * ps[i].Vel.Norm2()
+	}
+	return e
+}
+
+// PotentialEnergy returns the total pair potential under law, counting
+// each unordered pair once.
+func PotentialEnergy(ps []Particle, law Law) float64 {
+	var e float64
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			e += law.PairPotential(ps[i].Pos, ps[j].Pos)
+		}
+	}
+	return e
+}
+
+// MaxForceError returns the largest relative difference between the force
+// accumulators of a and b, matched by slice position. Slices must have
+// equal length and matching IDs; it panics otherwise. Relative error is
+// measured against max(|fa|, |fb|, floor) with a small floor to avoid
+// division by near-zero forces.
+func MaxForceError(a, b []Particle) float64 {
+	if len(a) != len(b) {
+		panic("phys: MaxForceError length mismatch")
+	}
+	const floor = 1e-12
+	var worst float64
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			panic("phys: MaxForceError ID mismatch")
+		}
+		diff := a[i].Force.Sub(b[i].Force).Norm()
+		scale := a[i].Force.Norm()
+		if s := b[i].Force.Norm(); s > scale {
+			scale = s
+		}
+		if scale < floor {
+			scale = floor
+		}
+		if e := diff / scale; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

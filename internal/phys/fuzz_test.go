@@ -1,0 +1,30 @@
+package phys
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSlice hardens the wire decoder against arbitrary input: it
+// must never panic, and whatever decodes must re-encode to the same
+// bytes.
+func FuzzDecodeSlice(f *testing.F) {
+	box := NewBox(10, 2, Reflective)
+	f.Add(EncodeSlice(InitUniform(3, box, 1)))
+	f.Add([]byte{})
+	f.Add(make([]byte, WireSize-1))
+	f.Add(make([]byte, WireSize+1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodeSlice(data)
+		if err != nil {
+			return
+		}
+		if len(data)%WireSize != 0 {
+			t.Fatalf("accepted misaligned buffer of %d bytes", len(data))
+		}
+		round := EncodeSlice(ps)
+		if !bytes.Equal(round, data) {
+			t.Fatalf("re-encode mismatch: %d vs %d bytes", len(round), len(data))
+		}
+	})
+}

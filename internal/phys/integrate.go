@@ -1,0 +1,29 @@
+package phys
+
+// Step advances all particles by one symplectic-Euler timestep of length
+// dt using the forces currently stored in their accumulators, then applies
+// the box's boundary condition. Particles have unit mass.
+//
+// Symplectic Euler (kick-drift) is what the paper's simple simulation
+// loop amounts to: the communication study does not depend on the
+// integrator's order, only on the per-step force evaluation.
+func Step(ps []Particle, box Box, dt float64) {
+	for i := range ps {
+		p := &ps[i]
+		p.Vel = p.Vel.Add(p.Force.Scale(dt))
+		p.Pos = p.Pos.Add(p.Vel.Scale(dt))
+		box.Apply(p)
+	}
+}
+
+// MaxSpeed returns the largest particle speed, used by tests to confirm
+// that the simulation stays numerically sane over many steps.
+func MaxSpeed(ps []Particle) float64 {
+	var m float64
+	for i := range ps {
+		if s := ps[i].Vel.Norm(); s > m {
+			m = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,71 @@
+package phys
+
+import "repro/internal/vec"
+
+// BruteForce computes the force on every particle from every other
+// particle with a serial O(n²) double loop and stores the result in the
+// force accumulators. It is the ground truth for the all-pairs parallel
+// algorithms. Existing accumulator contents are cleared first.
+func BruteForce(ps []Particle, law Law) {
+	ClearForces(ps)
+	for i := range ps {
+		f := vec.Vec2{}
+		for j := range ps {
+			if ps[i].ID == ps[j].ID {
+				continue
+			}
+			f = f.Add(law.Pair(ps[i].Pos, ps[j].Pos))
+		}
+		ps[i].Force = f
+	}
+}
+
+// BruteForceCutoff computes forces like BruteForce but skips pairs beyond
+// the law's cutoff radius, measuring distance under the box's boundary
+// condition (minimum-image for periodic boxes). law.Cutoff must be
+// positive.
+func BruteForceCutoff(ps []Particle, law Law, box Box) {
+	if law.Cutoff <= 0 {
+		panic("phys: BruteForceCutoff requires a positive cutoff")
+	}
+	ClearForces(ps)
+	rc2 := law.Cutoff * law.Cutoff
+	// Evaluate through a cutoff-free law on the minimum-image
+	// displacement so periodic and reflective boxes share one code path.
+	open := law
+	open.Cutoff = 0
+	for i := range ps {
+		f := vec.Vec2{}
+		for j := range ps {
+			if ps[i].ID == ps[j].ID {
+				continue
+			}
+			d := box.MinImage(ps[i].Pos, ps[j].Pos)
+			if d.Norm2() > rc2 {
+				continue
+			}
+			f = f.Add(open.Pair(d, vec.Vec2{}))
+			_ = j
+		}
+		ps[i].Force = f
+	}
+}
+
+// CountPairsWithin returns the number of ordered particle pairs (i, j),
+// i ≠ j, whose separation under the box metric is at most rc. This is the
+// quantity nk in the paper's cutoff lower bound (Equation 3).
+func CountPairsWithin(ps []Particle, rc float64, box Box) int64 {
+	rc2 := rc * rc
+	var n int64
+	for i := range ps {
+		for j := range ps {
+			if i == j {
+				continue
+			}
+			if box.MinImage(ps[i].Pos, ps[j].Pos).Norm2() <= rc2 {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package phys
+
+import (
+	"testing"
+)
+
+func TestSymmetricMatchesPlainBruteForce(t *testing.T) {
+	box := NewBox(10, 2, Reflective)
+	law := DefaultLaw()
+	a := InitUniform(60, box, 13)
+	b := append([]Particle(nil), a...)
+
+	BruteForce(a, law)
+	evals := BruteForceSymmetric(b, law)
+
+	if want := int64(60 * 59 / 2); evals != want {
+		t.Errorf("symmetric evaluations = %d, want %d (half of ordered pairs)", evals, want)
+	}
+	for i := range a {
+		if d := a[i].Force.Sub(b[i].Force).Norm(); d > 1e-10 {
+			t.Fatalf("particle %d: symmetric force deviates by %g", i, d)
+		}
+	}
+}
+
+func TestSymmetricCutoffMatchesPlain(t *testing.T) {
+	for _, boundary := range []Boundary{Reflective, Periodic} {
+		box := NewBox(10, 2, boundary)
+		law := DefaultLaw().WithCutoff(2.5)
+		a := InitUniform(50, box, 17)
+		b := append([]Particle(nil), a...)
+
+		BruteForceCutoff(a, law, box)
+		BruteForceCutoffSymmetric(b, law, box)
+
+		for i := range a {
+			if d := a[i].Force.Sub(b[i].Force).Norm(); d > 1e-10 {
+				t.Fatalf("%v: particle %d deviates by %g", boundary, i, d)
+			}
+		}
+	}
+}
+
+func TestSymmetricCutoffRequiresCutoff(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero cutoff should panic")
+		}
+	}()
+	BruteForceCutoffSymmetric(nil, DefaultLaw(), NewBox(10, 1, Reflective))
+}
+
+func BenchmarkBruteForce(b *testing.B) {
+	box := NewBox(10, 2, Reflective)
+	ps := InitUniform(512, box, 1)
+	law := DefaultLaw()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForce(ps, law)
+	}
+}
+
+// BenchmarkBruteForceSymmetric is the ablation for the symmetry
+// optimization the paper declines: ~2x fewer pair evaluations.
+func BenchmarkBruteForceSymmetric(b *testing.B) {
+	box := NewBox(10, 2, Reflective)
+	ps := InitUniform(512, box, 1)
+	law := DefaultLaw()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForceSymmetric(ps, law)
+	}
+}
+
+func BenchmarkCellListForces(b *testing.B) {
+	box := NewBox(32, 2, Periodic)
+	law := DefaultLaw().WithCutoff(2)
+	ps := InitLattice(2048, box, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := NewCellList(ps, 2, box)
+		cl.Forces(ps, law)
+	}
+}
+
+func BenchmarkBruteForceCutoff(b *testing.B) {
+	box := NewBox(32, 2, Periodic)
+	law := DefaultLaw().WithCutoff(2)
+	ps := InitLattice(2048, box, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForceCutoff(ps, law, box)
+	}
+}
+
+func BenchmarkEncodeDecodeSlice(b *testing.B) {
+	box := NewBox(10, 2, Reflective)
+	ps := InitUniform(1024, box, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeSlice(ps)
+		if _, err := DecodeSlice(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(ps) * WireSize))
+}
+
+func BenchmarkAccumulate(b *testing.B) {
+	box := NewBox(10, 2, Reflective)
+	targets := InitUniform(256, box, 1)
+	sources := InitUniform(256, box, 2)
+	for i := range sources {
+		sources[i].ID += 1000
+	}
+	law := DefaultLaw()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		law.Accumulate(targets, sources)
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/phys"
+)
+
+func TestTrajectoryWriter(t *testing.T) {
+	box := phys.NewBox(10, 2, phys.Reflective)
+	ps := phys.InitLattice(5, box, 1)
+	var buf bytes.Buffer
+	tw := NewTrajectoryWriter(&buf)
+	if err := tw.WriteFrame(ps, box, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.WriteFrame(ps, box, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Frames() != 2 {
+		t.Errorf("frames = %d", tw.Frames())
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Two frames of 2 header lines + 5 particles.
+	if len(lines) != 2*(2+5) {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "5" {
+		t.Errorf("first line %q, want particle count", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "step=0 ") {
+		t.Errorf("comment line %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "P0 ") {
+		t.Errorf("particle line %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[8], "step=10 ") {
+		t.Errorf("second frame comment %q", lines[8])
+	}
+}

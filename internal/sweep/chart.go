@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders a replication sweep as horizontal stacked bars — the
+// text analogue of the paper's Figure 2/6 stacked bar charts. Each phase
+// gets a distinct fill character; bar lengths are normalized to the
+// slowest configuration.
+//
+//	c=1      CCCCCCCCSSSSSSSSSSSSSSSSSSSSSSSSSSSSSS  0.2814 s
+//	c=16     CCCCCCCC-                               0.1581 s
+func (s *ReplicationSweep) Chart() string {
+	const width = 56
+	maxTotal := 0.0
+	for _, pt := range s.Points {
+		if t := pt.Breakdown.Total(); t > maxTotal {
+			maxTotal = t
+		}
+	}
+	if maxTotal <= 0 {
+		return s.Title + "\n(no data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s, %s, p=%d, n=%d", s.Title, s.Machine.Name, s.Alg, s.P, s.N)
+	if s.RcFrac > 0 {
+		fmt.Fprintf(&b, ", rc=%.2f·L", s.RcFrac)
+	}
+	fmt.Fprintf(&b, "\nlegend: C compute, B bcast, K skew, S shift, R reduce, M reassign\n")
+	for _, pt := range s.Points {
+		bd := pt.Breakdown
+		segments := []struct {
+			fill byte
+			v    float64
+		}{
+			{'C', bd.Compute}, {'B', bd.Bcast}, {'K', bd.Skew},
+			{'S', bd.Shift}, {'R', bd.Reduce}, {'M', bd.Reassign},
+		}
+		var bar []byte
+		for _, seg := range segments {
+			n := int(seg.v / maxTotal * width)
+			// Give visible phases at least one cell.
+			if n == 0 && seg.v > 0.005*maxTotal {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				bar = append(bar, seg.fill)
+			}
+		}
+		if len(bar) > width {
+			bar = bar[:width]
+		}
+		fmt.Fprintf(&b, "%-15s %-*s %10.5f s\n", pt.Label, width, string(bar), bd.Total())
+	}
+	best := s.Best()
+	fmt.Fprintf(&b, "best: %s (%.5f s/step)\n", best.Label, best.Breakdown.Total())
+	return b.String()
+}
+
+// FigureChart renders one replication figure (2a–2d, 6a–6d) as stacked
+// text bars. Scaling figures (3, 7) have no bar form and return an
+// error.
+func FigureChart(id string) (string, error) {
+	spec, ok := chartSpecs[id]
+	if !ok {
+		return "", fmt.Errorf("sweep: figure %q has no bar-chart form (replication figures only)", id)
+	}
+	s, err := spec.sweep()
+	if err != nil {
+		return "", err
+	}
+	return s.Chart(), nil
+}

@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// Claims quantifies the statements the paper makes in prose about its
+// measurements, evaluated on this repository's machine models.
+type Claims struct {
+	// SpeedupIntrepid8K is the total-time speedup from c=1 (torus) to
+	// the best c on the 8,192-core Intrepid configuration — the paper
+	// reports "a speedup of over 11.8× from communication avoidance".
+	SpeedupIntrepid8K float64
+	// CommReductionIntrepid32K is the fractional reduction in
+	// communication time from c=1 (torus) to the best c on the
+	// 32,768-core Intrepid configuration — the paper reports 99.5 %.
+	CommReductionIntrepid32K float64
+	// TreeOutperformedBy reports whether the best replicated torus run
+	// beats the hardware-tree c=1 variant on Intrepid 8K, as the paper
+	// observes.
+	TreeOutperformedBy bool
+	// BestVsMaxPct[fig] is (T(c_max) − T(c_best))/T(c_best) for each
+	// all-pairs figure; the paper reports ≤16 % everywhere and <2 % in
+	// most experiments.
+	BestVsMaxPct map[string]float64
+	// CutoffEfficiencyGain is eff(best c)/eff(c=1) at the largest
+	// machine size of the 1D-cutoff Hopper scaling study — the paper
+	// reports "roughly double".
+	CutoffEfficiencyGain float64
+}
+
+// EvaluateClaims computes all claims from the model.
+func EvaluateClaims() (Claims, error) {
+	var cl Claims
+	cl.BestVsMaxPct = make(map[string]float64)
+
+	fig2c, err := Replication("2c", machine.Intrepid(), model.AllPairs, 8192, 32768, allCs, 0, true, true)
+	if err != nil {
+		return cl, err
+	}
+	var noTree, tree *Point
+	for i := range fig2c.Points {
+		switch fig2c.Points[i].Label {
+		case "c=1 (no-tree)":
+			noTree = &fig2c.Points[i]
+		case "c=1 (tree)":
+			tree = &fig2c.Points[i]
+		}
+	}
+	if noTree == nil || tree == nil {
+		return cl, fmt.Errorf("sweep: figure 2c missing c=1 variants")
+	}
+	best2c := fig2c.Best()
+	cl.SpeedupIntrepid8K = noTree.Breakdown.Total() / best2c.Breakdown.Total()
+	cl.TreeOutperformedBy = best2c.Breakdown.Total() < tree.Breakdown.Total()
+
+	fig2d, err := Replication("2d", machine.Intrepid(), model.AllPairs, 32768, 262144,
+		[]int{1, 2, 4, 8, 16, 32, 64, 128}, 0, true, true)
+	if err != nil {
+		return cl, err
+	}
+	var noTree2d *Point
+	for i := range fig2d.Points {
+		if fig2d.Points[i].Label == "c=1 (no-tree)" {
+			noTree2d = &fig2d.Points[i]
+		}
+	}
+	if noTree2d == nil {
+		return cl, fmt.Errorf("sweep: figure 2d missing no-tree variant")
+	}
+	best2d := fig2d.Best()
+	cl.CommReductionIntrepid32K = 1 - best2d.Breakdown.Comm()/noTree2d.Breakdown.Comm()
+
+	for _, fig := range []struct {
+		id   string
+		s    *ReplicationSweep
+		err  error
+		skip bool
+	}{
+		{id: "2a", s: mustReplication("2a", machine.Hopper(), model.AllPairs, 6144, 24576, []int{1, 2, 4, 8, 16, 32}, false, false)},
+		{id: "2b", s: mustReplication("2b", machine.Hopper(), model.AllPairs, 24576, 196608, allCs, false, false)},
+		{id: "2c", s: fig2c},
+		{id: "2d", s: fig2d},
+	} {
+		pts := fig.s.Points
+		// c_max is the largest plain (non-tree) replication factor.
+		var maxPt *Point
+		for i := range pts {
+			if strings.Contains(pts[i].Label, "tree)") && pts[i].Label != "c=1 (no-tree)" {
+				continue
+			}
+			if maxPt == nil || pts[i].C > maxPt.C {
+				maxPt = &pts[i]
+			}
+		}
+		best := fig.s.Best()
+		cl.BestVsMaxPct[fig.id] = (maxPt.Breakdown.Total() - best.Breakdown.Total()) / best.Breakdown.Total()
+	}
+
+	sc := Scaling("7a", machine.Hopper(), model.Cutoff1D, 196608, cutoffScalingPsH, cutoffScalingCs, 0.25, false)
+	last := len(sc.Ps) - 1
+	bestEff, _ := sc.BestEff(last)
+	c1Eff := sc.Eff[last][0]
+	if c1Eff > 0 {
+		cl.CutoffEfficiencyGain = bestEff / c1Eff
+	}
+	return cl, nil
+}
+
+func mustReplication(title string, mach machine.Machine, alg model.Algorithm, p, n int, cs []int, topoAware, tree bool) *ReplicationSweep {
+	s, err := Replication(title, mach, alg, p, n, cs, 0, topoAware, tree)
+	if err != nil {
+		panic(err) // static figure grids are always feasible
+	}
+	return s
+}
+
+// String renders the claims next to the paper's reported values.
+func (cl Claims) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "paper claim                                         paper      measured\n")
+	fmt.Fprintf(&b, "speedup from communication avoidance (Intrepid 8K)  >11.8x     %.1fx\n", cl.SpeedupIntrepid8K)
+	fmt.Fprintf(&b, "communication-time reduction (Intrepid 32K, torus)  99.5%%      %.1f%%\n", 100*cl.CommReductionIntrepid32K)
+	fmt.Fprintf(&b, "replicated torus beats hardware tree (Intrepid 8K)  yes        %v\n", cl.TreeOutperformedBy)
+	for _, id := range []string{"2a", "2b", "2c", "2d"} {
+		fmt.Fprintf(&b, "best-vs-max-c total-time gap, figure %s              <=16%%      %.1f%%\n", id, 100*cl.BestVsMaxPct[id])
+	}
+	fmt.Fprintf(&b, "cutoff efficiency gain at largest machine (7a)      ~2x        %.2fx\n", cl.CutoffEfficiencyGain)
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bounds"
+)
+
+// CostComparison renders the Section II survey as a table: the
+// asymptotic critical-path latency S (messages) and bandwidth W (words)
+// of every decomposition the paper discusses, evaluated at concrete
+// (n, p) — plus the CA algorithm at several replication factors and the
+// matching lower bounds, showing how replication interpolates between
+// the particle and force decompositions and tracks the "lower" lower
+// bound as memory grows.
+func CostComparison(n, p int, cs []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Decomposition cost comparison (Section II), n=%d, p=%d\n", n, p)
+	fmt.Fprintf(&b, "%-28s %14s %14s %14s %14s\n", "method", "S (msgs)", "W (words)", "S lower bd", "W lower bd")
+
+	row := func(name string, s, w, mem float64) {
+		fmt.Fprintf(&b, "%-28s %14.1f %14.1f %14.1f %14.1f\n",
+			name, s, w,
+			bounds.DirectLatency(n, p, mem), bounds.DirectBandwidth(n, p, mem))
+	}
+
+	sP, wP := bounds.ParticleDecompositionCosts(n, p)
+	row("particle (naive)", sP, wP, bounds.MemoryPerRank(n, p, 1))
+
+	sF, wF := bounds.ForceDecompositionCosts(n, p)
+	sqrtp := 1
+	for sqrtp*sqrtp < p {
+		sqrtp++
+	}
+	row("force (Plimpton)", sF, wF, bounds.MemoryPerRank(n, p, sqrtp))
+
+	for _, c := range cs {
+		if c < 1 || c*c > p || p%c != 0 {
+			continue
+		}
+		s, w := bounds.CAAllPairsCosts(n, p, c)
+		row(fmt.Sprintf("CA all-pairs, c=%d", c), s, w, bounds.MemoryPerRank(n, p, c))
+	}
+	b.WriteString("\nwith cutoff spanning m processor boxes (dim d):\n")
+	fmt.Fprintf(&b, "%-28s %14s %14s\n", "method", "S (msgs)", "W (words)")
+	const m, dim = 4, 3
+	sS, wS := bounds.SpatialDecompositionCosts(n, p, m, dim)
+	fmt.Fprintf(&b, "%-28s %14.1f %14.1f\n", fmt.Sprintf("spatial (m=%d, d=%d)", m, dim), sS, wS)
+	sNT, wNT := bounds.NeutralTerritoryCosts(n, p, m, dim)
+	fmt.Fprintf(&b, "%-28s %14.1f %14.1f\n", "neutral territory", sNT, wNT)
+	for _, c := range cs {
+		if c < 1 {
+			continue
+		}
+		s, w := bounds.CACutoffCosts(n, p, c, m)
+		fmt.Fprintf(&b, "%-28s %14.1f %14.1f\n", fmt.Sprintf("CA cutoff (1D), c=%d", c), s, w)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// The exact parameter grids of the paper's evaluation section.
+var (
+	hopperScalingPs   = []int{1536, 3072, 6144, 12288, 24576}
+	intrepidScalingPs = []int{2048, 4096, 8192, 16384, 32768}
+	cutoffScalingPsH  = []int{96, 192, 384, 768, 1536, 3072, 6144, 12288, 24576}
+	allCs             = []int{1, 2, 4, 8, 16, 32, 64}
+	scalingCs         = []int{1, 2, 4, 8, 16, 32, 64}
+	cutoffScalingCs   = []int{1, 4, 16, 64}
+)
+
+// replicationSpec describes a Figure-2/6 style experiment.
+type replicationSpec struct {
+	caption string
+	mach    func() machine.Machine
+	alg     model.Algorithm
+	p, n    int
+	cs      []int
+	rc      float64
+	topo    bool
+	tree    bool
+}
+
+// scalingSpec describes a Figure-3/7 style experiment.
+type scalingSpec struct {
+	caption string
+	mach    func() machine.Machine
+	alg     model.Algorithm
+	n       int
+	ps, cs  []int
+	rc      float64
+	topo    bool
+}
+
+var chartSpecs = map[string]replicationSpec{
+	"2a": {"Figure 2a: execution time vs. replication factor",
+		machine.Hopper, model.AllPairs, 6144, 24576, []int{1, 2, 4, 8, 16, 32}, 0, false, false},
+	"2b": {"Figure 2b: execution time vs. replication factor",
+		machine.Hopper, model.AllPairs, 24576, 196608, allCs, 0, false, false},
+	"2c": {"Figure 2c: execution time vs. replication factor",
+		machine.Intrepid, model.AllPairs, 8192, 32768, allCs, 0, true, true},
+	"2d": {"Figure 2d: execution time vs. replication factor",
+		machine.Intrepid, model.AllPairs, 32768, 262144, []int{1, 2, 4, 8, 16, 32, 64, 128}, 0, true, true},
+	"6a": {"Figure 6a: 1D-cutoff execution time vs. replication factor",
+		machine.Hopper, model.Cutoff1D, 24576, 196608, allCs, 0.25, false, false},
+	"6b": {"Figure 6b: 2D-cutoff execution time vs. replication factor",
+		machine.Hopper, model.Cutoff2D, 24576, 196608, []int{1, 2, 4, 8, 16, 32, 64, 128}, 0.25, false, false},
+	"6c": {"Figure 6c: 1D-cutoff execution time vs. replication factor",
+		machine.Intrepid, model.Cutoff1D, 32768, 262144, allCs, 0.25, false, false},
+	"6d": {"Figure 6d: 2D-cutoff execution time vs. replication factor",
+		machine.Intrepid, model.Cutoff2D, 32768, 262144, allCs, 0.25, false, false},
+}
+
+var scalingSpecs = map[string]scalingSpec{
+	"3a": {"Figure 3a: parallel efficiency on Hopper",
+		machine.Hopper, model.AllPairs, 196608, hopperScalingPs, scalingCs, 0, false},
+	"3b": {"Figure 3b: parallel efficiency on Intrepid",
+		machine.Intrepid, model.AllPairs, 262144, intrepidScalingPs, scalingCs, 0, true},
+	"7a": {"Figure 7a: 1D-cutoff parallel efficiency on Hopper",
+		machine.Hopper, model.Cutoff1D, 196608, cutoffScalingPsH, cutoffScalingCs, 0.25, false},
+	"7b": {"Figure 7b: 2D-cutoff parallel efficiency on Hopper",
+		machine.Hopper, model.Cutoff2D, 196608, cutoffScalingPsH, cutoffScalingCs, 0.25, false},
+	"7c": {"Figure 7c: 1D-cutoff parallel efficiency on Intrepid",
+		machine.Intrepid, model.Cutoff1D, 262144, intrepidScalingPs, cutoffScalingCs, 0.25, false},
+	"7d": {"Figure 7d: 2D-cutoff parallel efficiency on Intrepid",
+		machine.Intrepid, model.Cutoff2D, 262144, intrepidScalingPs, cutoffScalingCs, 0.25, false},
+}
+
+func (sp replicationSpec) sweep() (*ReplicationSweep, error) {
+	return Replication(sp.caption, sp.mach(), sp.alg, sp.p, sp.n, sp.cs, sp.rc, sp.topo, sp.tree)
+}
+
+func (sp scalingSpec) sweep() *ScalingSweep {
+	return Scaling(sp.caption, sp.mach(), sp.alg, sp.n, sp.ps, sp.cs, sp.rc, sp.topo)
+}
+
+// FigureIDs lists all reproducible figures in order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(chartSpecs)+len(scalingSpecs))
+	for id := range chartSpecs {
+		ids = append(ids, id)
+	}
+	for id := range scalingSpecs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Figure renders one evaluation figure of the paper by id ("2a"–"2d",
+// "3a", "3b", "6a"–"6d", "7a"–"7d") as a text table.
+func Figure(id string) (string, error) {
+	if sp, ok := chartSpecs[id]; ok {
+		s, err := sp.sweep()
+		if err != nil {
+			return "", err
+		}
+		return s.Table(), nil
+	}
+	if sp, ok := scalingSpecs[id]; ok {
+		return sp.sweep().Table(), nil
+	}
+	return "", fmt.Errorf("sweep: unknown figure %q (have %v)", id, FigureIDs())
+}
+
+// FigureCSV renders one figure's data series as CSV.
+func FigureCSV(id string) (string, error) {
+	if sp, ok := chartSpecs[id]; ok {
+		s, err := sp.sweep()
+		if err != nil {
+			return "", err
+		}
+		return s.CSV(), nil
+	}
+	if sp, ok := scalingSpecs[id]; ok {
+		return sp.sweep().CSV(), nil
+	}
+	return "", fmt.Errorf("sweep: unknown figure %q (have %v)", id, FigureIDs())
+}

@@ -1,0 +1,36 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/phys"
+)
+
+// MemoryFeasibility renders Equation 4 concretely for a machine: for a
+// range of per-rank particle loads n/p, the largest replication factor
+// whose working set fits in per-rank memory, and the corresponding
+// lower-bound reduction it unlocks ("using extra memory to realize a
+// lower lower-bound"). It is the memory-limited-c story of the paper as
+// a table.
+func MemoryFeasibility(mach machine.Machine, perRankLoads []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory-limited replication on %s (%.2g B per rank)\n", mach.Name, mach.MemoryPerRank)
+	fmt.Fprintf(&b, "%-12s %10s %16s %22s\n", "n/p", "max c", "working set", "W lower-bound gain")
+	for _, load := range perRankLoads {
+		// Evaluate at a reference p; MaxFeasibleC depends only on n/p.
+		const p = 1 << 15
+		n := load * p
+		maxC := model.MaxFeasibleC(n, p, mach.MemoryPerRank)
+		set := 3 * float64(maxC) * float64(load) * phys.WireSize
+		// Bandwidth lower bound shrinks by exactly the replication
+		// factor (Equation 2 at M = c·n/p).
+		base := bounds.DirectBandwidth(n, p, bounds.MemoryPerRank(n, p, 1))
+		best := bounds.DirectBandwidth(n, p, bounds.MemoryPerRank(n, p, maxC))
+		fmt.Fprintf(&b, "%-12d %10d %15.3gB %21.1fx\n", load, maxC, set, base/best)
+	}
+	return b.String()
+}

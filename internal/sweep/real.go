@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+// RealPoint is one measured configuration of a real-execution sweep on
+// the goroutine runtime.
+type RealPoint struct {
+	C       int
+	PerStep time.Duration
+	S       int64 // critical-path message events per step
+	W       int64 // critical-path bytes per step
+	Report  *trace.Report
+	Err     error // infeasible configurations carry the reason
+}
+
+// RealSweep is the laptop-scale counterpart of Figure 2: wall time and
+// measured communication versus replication factor, executed for real on
+// goroutine ranks rather than modeled.
+type RealSweep struct {
+	Title  string
+	P, N   int
+	Steps  int
+	Points []RealPoint
+}
+
+// RealReplication runs `steps` timesteps of the CA all-pairs algorithm
+// for every c in cs on p ranks with n particles, measuring wall time and
+// instrumented communication. Infeasible factors are kept in the result
+// with their error. seed fixes the workload.
+func RealReplication(p, n, steps int, cs []int, seed uint64) *RealSweep {
+	s := &RealSweep{
+		Title: fmt.Sprintf("real execution: all-pairs, p=%d, n=%d, %d steps", p, n, steps),
+		P:     p, N: n, Steps: steps,
+	}
+	box := phys.NewBox(16, 2, phys.Reflective)
+	ps := phys.InitUniform(n, box, seed)
+	for _, c := range cs {
+		pt := RealPoint{C: c}
+		pr := core.Params{
+			P: p, C: c, Law: phys.DefaultLaw(), Box: box, DT: 1e-3, Steps: steps,
+		}
+		start := time.Now()
+		_, rep, err := core.AllPairs(ps, pr)
+		if err != nil {
+			pt.Err = err
+			s.Points = append(s.Points, pt)
+			continue
+		}
+		pt.PerStep = time.Since(start) / time.Duration(steps)
+		pt.Report = rep
+		pt.S = rep.S() / int64(steps)
+		pt.W = rep.W() / int64(steps)
+		s.Points = append(s.Points, pt)
+	}
+	return s
+}
+
+// Best returns the fastest feasible point, or an error when none is.
+func (s *RealSweep) Best() (RealPoint, error) {
+	var best *RealPoint
+	for i := range s.Points {
+		pt := &s.Points[i]
+		if pt.Err != nil {
+			continue
+		}
+		if best == nil || pt.PerStep < best.PerStep {
+			best = pt
+		}
+	}
+	if best == nil {
+		return RealPoint{}, fmt.Errorf("sweep: no feasible point in %q", s.Title)
+	}
+	return *best, nil
+}
+
+// Table renders the sweep with measured wall times and per-step
+// communication.
+func (s *RealSweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	fmt.Fprintf(&b, "%-6s %14s %16s %14s\n", "c", "time/step", "S (msg events)", "W (bytes)")
+	for _, pt := range s.Points {
+		if pt.Err != nil {
+			fmt.Fprintf(&b, "c=%-4d infeasible: %v\n", pt.C, pt.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "c=%-4d %14v %16d %14d\n", pt.C, pt.PerStep, pt.S, pt.W)
+	}
+	if best, err := s.Best(); err == nil {
+		fmt.Fprintf(&b, "best: c=%d (%v/step)\n", best.C, best.PerStep)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRealReplicationSweep(t *testing.T) {
+	s := RealReplication(16, 64, 2, []int{1, 2, 4, 3}, 7)
+	if len(s.Points) != 4 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for _, pt := range s.Points {
+		switch pt.C {
+		case 3:
+			if pt.Err == nil {
+				t.Error("c=3 on 16 ranks is infeasible (c²∤p); expected error")
+			}
+		default:
+			if pt.Err != nil {
+				t.Errorf("c=%d failed: %v", pt.C, pt.Err)
+				continue
+			}
+			if pt.PerStep <= 0 || pt.S <= 0 {
+				t.Errorf("c=%d: empty measurements %+v", pt.C, pt)
+			}
+		}
+	}
+	// Measured communication events must fall with c (the Equation 5
+	// effect, on real wall-clock runs).
+	var s1, s4 int64
+	for _, pt := range s.Points {
+		if pt.C == 1 {
+			s1 = pt.S
+		}
+		if pt.C == 4 {
+			s4 = pt.S
+		}
+	}
+	if s4 >= s1 {
+		t.Errorf("S did not fall with replication: c=1 %d vs c=4 %d", s1, s4)
+	}
+	best, err := s.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Err != nil {
+		t.Error("best point carries an error")
+	}
+	tbl := s.Table()
+	if !strings.Contains(tbl, "best: c=") || !strings.Contains(tbl, "infeasible") {
+		t.Errorf("table rendering:\n%s", tbl)
+	}
+}
+
+func TestRealSweepAllInfeasible(t *testing.T) {
+	s := RealReplication(16, 64, 1, []int{3, 5}, 7)
+	if _, err := s.Best(); err == nil {
+		t.Error("expected no-feasible-point error")
+	}
+}

@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+)
+
+// TeamGrid arranges T teams spatially in a Dim-dimensional grid of equal
+// sides, the layout the cutoff algorithms use to decompose the simulation
+// box. Dim is 1 or 2. Team ids are row-major in 2D.
+type TeamGrid struct {
+	Dim  int
+	Side int // teams per box dimension
+}
+
+// NewTeamGrid returns a team grid with T teams in dim dimensions. In 2D,
+// T must be a perfect square.
+func NewTeamGrid(T, dim int) (TeamGrid, error) {
+	switch dim {
+	case 1:
+		if T <= 0 {
+			return TeamGrid{}, fmt.Errorf("topo: non-positive team count %d", T)
+		}
+		return TeamGrid{Dim: 1, Side: T}, nil
+	case 2:
+		s := int(math.Round(math.Sqrt(float64(T))))
+		if s*s != T {
+			return TeamGrid{}, fmt.Errorf("topo: 2D team grid needs a square team count, got %d", T)
+		}
+		return TeamGrid{Dim: 2, Side: s}, nil
+	default:
+		return TeamGrid{}, fmt.Errorf("topo: unsupported team grid dimension %d", dim)
+	}
+}
+
+// Teams returns the total number of teams.
+func (t TeamGrid) Teams() int {
+	if t.Dim == 1 {
+		return t.Side
+	}
+	return t.Side * t.Side
+}
+
+// Coord returns the spatial coordinate of team id. In 1D the Y coordinate
+// is zero.
+func (t TeamGrid) Coord(team int) (x, y int) {
+	if team < 0 || team >= t.Teams() {
+		panic(fmt.Sprintf("topo: team %d outside grid of %d", team, t.Teams()))
+	}
+	if t.Dim == 1 {
+		return team, 0
+	}
+	return team % t.Side, team / t.Side
+}
+
+// Team returns the team id at spatial coordinate (x, y).
+func (t TeamGrid) Team(x, y int) int {
+	if t.Dim == 1 {
+		if x < 0 || x >= t.Side || y != 0 {
+			panic(fmt.Sprintf("topo: coordinate (%d,%d) outside 1D grid of %d", x, y, t.Side))
+		}
+		return x
+	}
+	if x < 0 || x >= t.Side || y < 0 || y >= t.Side {
+		panic(fmt.Sprintf("topo: coordinate (%d,%d) outside %dx%d grid", x, y, t.Side, t.Side))
+	}
+	return y*t.Side + x
+}
+
+// Neighbor returns the team at offset (dx, dy) from team, and whether it
+// exists. With wrap true the grid is treated as a torus (periodic box);
+// otherwise offsets that leave the grid report ok = false.
+func (t TeamGrid) Neighbor(team, dx, dy int, wrap bool) (int, bool) {
+	x, y := t.Coord(team)
+	x += dx
+	y += dy
+	if wrap {
+		x = mod(x, t.Side)
+		if t.Dim == 2 {
+			y = mod(y, t.Side)
+		} else {
+			y = 0
+		}
+		return t.Team(x, y), true
+	}
+	if x < 0 || x >= t.Side {
+		return 0, false
+	}
+	if t.Dim == 2 && (y < 0 || y >= t.Side) {
+		return 0, false
+	}
+	if t.Dim == 1 {
+		y = 0
+	}
+	return t.Team(x, y), true
+}
+
+// ChebyshevDist returns the L∞ distance between two teams, with wrap
+// selecting torus distance. The cutoff import region of a team is exactly
+// the set of teams within Chebyshev distance m.
+func (t TeamGrid) ChebyshevDist(a, b int, wrap bool) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	dx := absInt(ax - bx)
+	dy := absInt(ay - by)
+	if wrap {
+		if w := t.Side - dx; w < dx {
+			dx = w
+		}
+		if w := t.Side - dy; w < dy {
+			dy = w
+		}
+	}
+	if dy > dx {
+		return dy
+	}
+	return dx
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// phaseJSON is the serialized form of one phase's critical-path and
+// aggregate numbers.
+type phaseJSON struct {
+	Phase        string  `json:"phase"`
+	MaxSent      int64   `json:"max_sent_msgs"`
+	MaxSentBytes int64   `json:"max_sent_bytes"`
+	MaxRecv      int64   `json:"max_recv_msgs"`
+	MaxRecvBytes int64   `json:"max_recv_bytes"`
+	MaxTimeSec   float64 `json:"max_time_sec"`
+	SumTimeSec   float64 `json:"sum_time_sec"`
+	Imbalance    float64 `json:"imbalance"`
+}
+
+type reportJSON struct {
+	Ranks  int         `json:"ranks"`
+	S      int64       `json:"s_critical_path"`
+	W      int64       `json:"w_critical_path_bytes"`
+	Phases []phaseJSON `json:"phases"`
+}
+
+// JSON serializes the report for external tooling: per-phase
+// critical-path counts, times, and imbalance, plus the aggregate S and
+// W. Idle phases are omitted.
+func (r *Report) JSON() ([]byte, error) {
+	out := reportJSON{Ranks: r.Ranks, S: r.S(), W: r.W()}
+	for _, p := range Phases() {
+		cp := r.CriticalPath[p]
+		if cp.Events() == 0 && cp.Time == 0 {
+			continue
+		}
+		out.Phases = append(out.Phases, phaseJSON{
+			Phase:        p.String(),
+			MaxSent:      cp.Messages,
+			MaxSentBytes: cp.Bytes,
+			MaxRecv:      cp.RecvMessages,
+			MaxRecvBytes: cp.RecvBytes,
+			MaxTimeSec:   cp.Time.Seconds(),
+			SumTimeSec:   time.Duration(r.Sum[p].Time).Seconds(),
+			Imbalance:    r.Imbalance(p),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

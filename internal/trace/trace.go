@@ -1,0 +1,287 @@
+// Package trace provides phase-labelled communication and computation
+// accounting. Every rank of the message-passing runtime owns a Stats; the
+// algorithms label the current phase (broadcast, skew, shift, reduce,
+// reassign, compute) and the runtime attributes each message, byte and
+// nanosecond to the active phase. Aggregating per-rank Stats yields the
+// critical-path quantities S (messages) and W (words) the paper's lower
+// bounds speak about, and the per-phase time breakdowns of Figures 2
+// and 6.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase labels one part of a timestep. The values mirror the phase
+// breakdown in the paper's figures.
+type Phase int
+
+const (
+	Compute Phase = iota
+	Broadcast
+	Skew
+	Shift
+	Reduce
+	Reassign
+	Other
+	numPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Compute:
+		return "compute"
+	case Broadcast:
+		return "broadcast"
+	case Skew:
+		return "skew"
+	case Shift:
+		return "shift"
+	case Reduce:
+		return "reduce"
+	case Reassign:
+		return "reassign"
+	case Other:
+		return "other"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Phases lists all phases in display order.
+func Phases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// CommPhases lists the phases that represent communication (everything
+// but Compute and Other), in display order.
+func CommPhases() []Phase {
+	return []Phase{Broadcast, Skew, Shift, Reduce, Reassign}
+}
+
+// PhaseStats accumulates the activity attributed to one phase on one
+// rank. Sends and receives are tracked separately: the per-rank sum of
+// the two bounds the rank's contribution to the critical path, which is
+// how the paper's S and W are interpreted for tree collectives (a
+// reduction root sends nothing but sits behind log c receives).
+type PhaseStats struct {
+	Messages     int64         // point-to-point messages sent
+	Bytes        int64         // payload bytes sent
+	RecvMessages int64         // messages received
+	RecvBytes    int64         // payload bytes received
+	Time         time.Duration // wall time spent in the phase
+}
+
+// Events returns the total number of message events (sends plus
+// receives) on the rank in this phase.
+func (s PhaseStats) Events() int64 { return s.Messages + s.RecvMessages }
+
+// Volume returns the total traffic (sent plus received bytes) on the
+// rank in this phase.
+func (s PhaseStats) Volume() int64 { return s.Bytes + s.RecvBytes }
+
+// Add accumulates o into s.
+func (s *PhaseStats) Add(o PhaseStats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.RecvMessages += o.RecvMessages
+	s.RecvBytes += o.RecvBytes
+	s.Time += o.Time
+}
+
+// Max keeps the per-field maximum of s and o. Taking the maximum across
+// ranks of per-rank totals is how the critical-path S and W are obtained.
+func (s *PhaseStats) Max(o PhaseStats) {
+	if o.Messages > s.Messages {
+		s.Messages = o.Messages
+	}
+	if o.Bytes > s.Bytes {
+		s.Bytes = o.Bytes
+	}
+	if o.RecvMessages > s.RecvMessages {
+		s.RecvMessages = o.RecvMessages
+	}
+	if o.RecvBytes > s.RecvBytes {
+		s.RecvBytes = o.RecvBytes
+	}
+	if o.Time > s.Time {
+		s.Time = o.Time
+	}
+}
+
+// Stats is the per-rank accounting record. It is not safe for concurrent
+// use; each rank owns exactly one.
+type Stats struct {
+	phase   Phase
+	started time.Time
+	timing  bool
+	ByPhase [numPhases]PhaseStats
+}
+
+// NewStats returns a Stats positioned in the Other phase with timing
+// disabled.
+func NewStats() *Stats { return &Stats{phase: Other} }
+
+// SetPhase switches the active phase. If wall-clock timing was started
+// with StartTiming, the elapsed time since the last switch is charged to
+// the outgoing phase.
+func (s *Stats) SetPhase(p Phase) {
+	if s.timing {
+		now := time.Now()
+		s.ByPhase[s.phase].Time += now.Sub(s.started)
+		s.started = now
+	}
+	s.phase = p
+}
+
+// Phase returns the active phase.
+func (s *Stats) Phase() Phase { return s.phase }
+
+// StartTiming begins charging wall time to phases.
+func (s *Stats) StartTiming() {
+	s.timing = true
+	s.started = time.Now()
+}
+
+// StopTiming charges the time since the last phase switch and stops the
+// clock.
+func (s *Stats) StopTiming() {
+	if s.timing {
+		s.ByPhase[s.phase].Time += time.Since(s.started)
+		s.timing = false
+	}
+}
+
+// CountMessage attributes one sent message of n payload bytes to the
+// active phase.
+func (s *Stats) CountMessage(n int) {
+	s.ByPhase[s.phase].Messages++
+	s.ByPhase[s.phase].Bytes += int64(n)
+}
+
+// CountRecv attributes one received message of n payload bytes to the
+// active phase.
+func (s *Stats) CountRecv(n int) {
+	s.ByPhase[s.phase].RecvMessages++
+	s.ByPhase[s.phase].RecvBytes += int64(n)
+}
+
+// TotalMessages returns the total number of messages across phases.
+func (s *Stats) TotalMessages() int64 {
+	var t int64
+	for i := range s.ByPhase {
+		t += s.ByPhase[i].Messages
+	}
+	return t
+}
+
+// TotalBytes returns the total payload bytes across phases.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for i := range s.ByPhase {
+		t += s.ByPhase[i].Bytes
+	}
+	return t
+}
+
+// CommTime returns the total time spent in communication phases.
+func (s *Stats) CommTime() time.Duration {
+	var t time.Duration
+	for _, p := range CommPhases() {
+		t += s.ByPhase[p].Time
+	}
+	return t
+}
+
+// Report aggregates the Stats of all ranks in a run.
+type Report struct {
+	Ranks int
+	// CriticalPath holds, per phase, the maximum per-rank totals: the
+	// paper's "communication along the critical path".
+	CriticalPath [numPhases]PhaseStats
+	// Sum holds, per phase, the totals across all ranks.
+	Sum [numPhases]PhaseStats
+}
+
+// Aggregate builds a Report from per-rank Stats.
+func Aggregate(ranks []*Stats) *Report {
+	r := &Report{Ranks: len(ranks)}
+	for _, s := range ranks {
+		for i := range s.ByPhase {
+			r.Sum[i].Add(s.ByPhase[i])
+			r.CriticalPath[i].Max(s.ByPhase[i])
+		}
+	}
+	return r
+}
+
+// S returns the critical-path message-event count summed over
+// communication phases — the paper's latency cost S (within a factor of
+// two, since each link event is charged to both endpoints).
+func (r *Report) S() int64 {
+	var s int64
+	for _, p := range CommPhases() {
+		s += r.CriticalPath[p].Events()
+	}
+	return s
+}
+
+// W returns the critical-path traffic summed over communication phases —
+// the paper's bandwidth cost W, in bytes rather than words (again within
+// a factor of two from double-ended accounting).
+func (r *Report) W() int64 {
+	var w int64
+	for _, p := range CommPhases() {
+		w += r.CriticalPath[p].Volume()
+	}
+	return w
+}
+
+// Imbalance returns the load imbalance of a phase: the maximum per-rank
+// time divided by the mean per-rank time (1.0 = perfectly balanced). It
+// quantifies the boundary effects the paper blames for the cutoff
+// algorithm's reduced efficiency. Phases with no recorded time report 1.
+func (r *Report) Imbalance(p Phase) float64 {
+	if r.Ranks == 0 || r.Sum[p].Time == 0 {
+		return 1
+	}
+	mean := float64(r.Sum[p].Time) / float64(r.Ranks)
+	return float64(r.CriticalPath[p].Time) / mean
+}
+
+// ComputeImbalance is Imbalance(Compute), the headline balance metric.
+func (r *Report) ComputeImbalance() float64 { return r.Imbalance(Compute) }
+
+// String renders the report as an aligned table of per-phase
+// critical-path numbers.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %13s %10s %13s %12s\n",
+		"phase", "sent(max)", "sentB(max)", "recv(max)", "recvB(max)", "time(max)")
+	for _, p := range Phases() {
+		cp := r.CriticalPath[p]
+		if cp.Events() == 0 && cp.Time == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %10d %13d %10d %13d %12s\n",
+			p, cp.Messages, cp.Bytes, cp.RecvMessages, cp.RecvBytes, cp.Time)
+	}
+	fmt.Fprintf(&b, "%-10s %10d %13d\n", "S/W", r.S(), r.W())
+	return b.String()
+}
+
+// PhaseNames returns phase names in display order; used by table writers
+// that want stable column ordering.
+func PhaseNames() []string {
+	names := make([]string, 0, numPhases)
+	for _, p := range Phases() {
+		names = append(names, p.String())
+	}
+	return names
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseAccounting(t *testing.T) {
+	s := NewStats()
+	s.SetPhase(Shift)
+	s.CountMessage(100)
+	s.CountMessage(50)
+	s.CountRecv(100)
+	s.SetPhase(Reduce)
+	s.CountMessage(10)
+
+	if got := s.ByPhase[Shift]; got.Messages != 2 || got.Bytes != 150 || got.RecvMessages != 1 || got.RecvBytes != 100 {
+		t.Errorf("shift stats %+v", got)
+	}
+	if got := s.ByPhase[Reduce]; got.Messages != 1 || got.Bytes != 10 {
+		t.Errorf("reduce stats %+v", got)
+	}
+	if s.TotalMessages() != 3 || s.TotalBytes() != 160 {
+		t.Errorf("totals %d/%d", s.TotalMessages(), s.TotalBytes())
+	}
+}
+
+func TestTiming(t *testing.T) {
+	s := NewStats()
+	s.StartTiming()
+	s.SetPhase(Compute)
+	time.Sleep(5 * time.Millisecond)
+	s.SetPhase(Shift)
+	s.StopTiming()
+	if s.ByPhase[Compute].Time < 2*time.Millisecond {
+		t.Errorf("compute time %v too small", s.ByPhase[Compute].Time)
+	}
+	if s.CommTime() != s.ByPhase[Shift].Time {
+		t.Errorf("CommTime %v != shift time %v", s.CommTime(), s.ByPhase[Shift].Time)
+	}
+	// Without timing, SetPhase records nothing.
+	s2 := NewStats()
+	s2.SetPhase(Compute)
+	s2.SetPhase(Shift)
+	if s2.ByPhase[Compute].Time != 0 {
+		t.Error("untimed stats accumulated time")
+	}
+}
+
+func TestAggregateCriticalPathAndSum(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.SetPhase(Shift)
+	a.CountMessage(100)
+	b.SetPhase(Shift)
+	b.CountMessage(10)
+	b.CountMessage(10)
+	r := Aggregate([]*Stats{a, b})
+	if r.Ranks != 2 {
+		t.Errorf("ranks %d", r.Ranks)
+	}
+	cp := r.CriticalPath[Shift]
+	// Max messages = 2 (rank b), max bytes = 100 (rank a).
+	if cp.Messages != 2 || cp.Bytes != 100 {
+		t.Errorf("critical path %+v", cp)
+	}
+	if sum := r.Sum[Shift]; sum.Messages != 3 || sum.Bytes != 120 {
+		t.Errorf("sum %+v", sum)
+	}
+	// S sums critical-path events (max sends + max recvs) over the
+	// communication phases: 2 sends, no recvs recorded.
+	if r.S() != 2 {
+		t.Errorf("S = %d, want 2", r.S())
+	}
+	if r.W() != 100 {
+		t.Errorf("W = %d, want 100", r.W())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := NewStats()
+	s.SetPhase(Broadcast)
+	s.CountMessage(10)
+	r := Aggregate([]*Stats{s})
+	out := r.String()
+	if !strings.Contains(out, "broadcast") || !strings.Contains(out, "S/W") {
+		t.Errorf("report rendering:\n%s", out)
+	}
+	// Phases with no activity are omitted.
+	if strings.Contains(out, "reassign") {
+		t.Errorf("idle phase rendered:\n%s", out)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != 7 || names[0] != "compute" || names[6] != "other" {
+		t.Errorf("PhaseNames = %v", names)
+	}
+	if Phase(42).String() == "" {
+		t.Error("unknown phase should render")
+	}
+	if len(CommPhases()) != 5 {
+		t.Errorf("CommPhases = %v", CommPhases())
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	s := NewStats()
+	s.SetPhase(Shift)
+	s.CountMessage(100)
+	s.CountRecv(40)
+	r := Aggregate([]*Stats{s})
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if decoded["ranks"].(float64) != 1 {
+		t.Errorf("ranks field: %v", decoded["ranks"])
+	}
+	phases := decoded["phases"].([]any)
+	if len(phases) != 1 {
+		t.Fatalf("phases = %v", phases)
+	}
+	ph := phases[0].(map[string]any)
+	if ph["phase"] != "shift" || ph["max_sent_bytes"].(float64) != 100 {
+		t.Errorf("phase entry %v", ph)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.ByPhase[Compute].Time = 3 * time.Second
+	b.ByPhase[Compute].Time = 1 * time.Second
+	r := Aggregate([]*Stats{a, b})
+	// max 3s over mean 2s.
+	if got := r.ComputeImbalance(); got != 1.5 {
+		t.Errorf("imbalance = %g, want 1.5", got)
+	}
+	// Untouched phase reports neutral balance.
+	if got := r.Imbalance(Shift); got != 1 {
+		t.Errorf("idle-phase imbalance = %g, want 1", got)
+	}
+	empty := Aggregate(nil)
+	if got := empty.ComputeImbalance(); got != 1 {
+		t.Errorf("empty report imbalance = %g", got)
+	}
+}
+
+func TestPhaseStatsMaxAndAdd(t *testing.T) {
+	a := PhaseStats{Messages: 1, Bytes: 10, RecvMessages: 5, RecvBytes: 2, Time: time.Second}
+	b := PhaseStats{Messages: 3, Bytes: 5, RecvMessages: 1, RecvBytes: 7, Time: time.Millisecond}
+	m := a
+	m.Max(b)
+	if m.Messages != 3 || m.Bytes != 10 || m.RecvMessages != 5 || m.RecvBytes != 7 || m.Time != time.Second {
+		t.Errorf("Max = %+v", m)
+	}
+	s := a
+	s.Add(b)
+	if s.Messages != 4 || s.Bytes != 15 || s.Events() != 10 || s.Volume() != 24 {
+		t.Errorf("Add = %+v", s)
+	}
+}

@@ -1,0 +1,150 @@
+package nbody
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/sweep"
+)
+
+// MachineName identifies one of the modeled systems of the paper's
+// evaluation.
+type MachineName string
+
+// Modeled machines.
+const (
+	Hopper   MachineName = "hopper"   // Cray XE-6, Gemini 3D torus
+	Intrepid MachineName = "intrepid" // IBM BlueGene/P, 3D torus + tree
+	Generic  MachineName = "generic"  // neutral single-core-per-node torus
+)
+
+func (n MachineName) spec() (machine.Machine, error) {
+	switch n {
+	case Hopper:
+		return machine.Hopper(), nil
+	case Intrepid:
+		return machine.Intrepid(), nil
+	case Generic:
+		return machine.Generic(), nil
+	default:
+		return machine.Machine{}, fmt.Errorf("nbody: unknown machine %q", n)
+	}
+}
+
+// Breakdown is the modeled per-timestep phase cost in seconds.
+type Breakdown = model.Breakdown
+
+// Prediction configures a performance-model query.
+type Prediction struct {
+	Machine MachineName // default Generic
+	P, N, C int
+	// Dim selects the cutoff variant when Cutoff is set: 1 or 2.
+	Dim int
+	// CutoffFrac is the cutoff radius as a fraction of the box length;
+	// 0 models all-pairs interactions.
+	CutoffFrac float64
+	// TopologyAware enables the bidirectional-torus shift optimization
+	// (Section III-C).
+	TopologyAware bool
+}
+
+// Predict prices one timestep of the configuration on the machine model:
+// the tool behind the repository's reproduction of the paper's figures
+// at 24K–32K core scales that cannot be executed directly.
+func Predict(pr Prediction) (Breakdown, error) {
+	if pr.Machine == "" {
+		pr.Machine = Generic
+	}
+	mach, err := pr.Machine.spec()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	alg := model.AllPairs
+	if pr.CutoffFrac > 0 {
+		switch pr.Dim {
+		case 0, 2:
+			alg = model.Cutoff2D
+		case 1:
+			alg = model.Cutoff1D
+		default:
+			return Breakdown{}, fmt.Errorf("nbody: cutoff prediction needs dim 1 or 2, got %d", pr.Dim)
+		}
+	}
+	return model.Evaluate(model.Config{
+		Machine:       mach,
+		Alg:           alg,
+		P:             pr.P,
+		N:             pr.N,
+		C:             pr.C,
+		RcFrac:        pr.CutoffFrac,
+		TopologyAware: pr.TopologyAware,
+	})
+}
+
+// PredictEfficiency returns the modeled strong-scaling parallel
+// efficiency of the configuration relative to one core.
+func PredictEfficiency(pr Prediction) (float64, error) {
+	b, err := Predict(pr)
+	if err != nil {
+		return 0, err
+	}
+	mach, err := pr.Machine.spec()
+	if err != nil {
+		return 0, err
+	}
+	alg := model.AllPairs
+	if pr.CutoffFrac > 0 {
+		if pr.Dim == 1 {
+			alg = model.Cutoff1D
+		} else {
+			alg = model.Cutoff2D
+		}
+	}
+	st := model.SerialTime(model.Config{Machine: mach, Alg: alg, N: pr.N, RcFrac: pr.CutoffFrac})
+	return st / (float64(pr.P) * b.Total()), nil
+}
+
+// Figure renders one of the paper's evaluation figures ("2a".."2d",
+// "3a", "3b", "6a".."6d", "7a".."7d") as a text table from the machine
+// models.
+func Figure(id string) (string, error) { return sweep.Figure(id) }
+
+// FigureCSV renders a figure's series as CSV.
+func FigureCSV(id string) (string, error) { return sweep.FigureCSV(id) }
+
+// FigureChart renders a replication figure (2a–2d, 6a–6d) as stacked
+// text bars, the visual analogue of the paper's bar charts.
+func FigureChart(id string) (string, error) { return sweep.FigureChart(id) }
+
+// FigureIDs lists the reproducible figures.
+func FigureIDs() []string { return sweep.FigureIDs() }
+
+// PaperClaims evaluates the paper's headline quantitative claims against
+// the models and renders them next to the published values.
+func PaperClaims() (string, error) {
+	cl, err := sweep.EvaluateClaims()
+	if err != nil {
+		return "", err
+	}
+	return cl.String(), nil
+}
+
+// MemoryFeasibility renders the machine's memory-limited replication
+// table (Equation 4): per-rank particle load versus the largest feasible
+// c and the bandwidth lower-bound reduction it unlocks.
+func MemoryFeasibility(m MachineName, perRankLoads []int) (string, error) {
+	mach, err := m.spec()
+	if err != nil {
+		return "", err
+	}
+	return sweep.MemoryFeasibility(mach, perRankLoads), nil
+}
+
+// CostComparison renders the Section II survey: asymptotic S and W of
+// the particle, force, spatial and neutral-territory decompositions next
+// to the CA algorithm at the given replication factors and the matching
+// lower bounds, evaluated at (n, p).
+func CostComparison(n, p int, cs []int) string {
+	return sweep.CostComparison(n, p, cs)
+}

@@ -1,0 +1,83 @@
+package nbody
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Sample is one physical measurement of the system: energies,
+// temperature, momentum.
+type Sample = sim.Sample
+
+// Observe measures the current state: kinetic, potential and total
+// energy, kinetic temperature, total momentum and peak speed. The
+// potential sum is O(n²); call it at a sampling cadence, not every step.
+func (s *Simulation) Observe() Sample {
+	return sim.Measure(s.particles, s.cfg.law(), s.cfg.box(), s.steps, s.cfg.DT)
+}
+
+// RadialDistribution computes the radial distribution function g(r) of
+// the current state over `bins` bins up to radius rmax — the standard
+// structural observable for particle systems.
+func (s *Simulation) RadialDistribution(bins int, rmax float64) ([]float64, error) {
+	return sim.RadialDistribution(s.particles, s.cfg.box(), bins, rmax)
+}
+
+// TrajectoryWriter streams frames in the extended XYZ format for
+// molecular-visualization tools.
+type TrajectoryWriter = sim.TrajectoryWriter
+
+// NewTrajectoryWriter returns a writer appending XYZ frames to w.
+func NewTrajectoryWriter(w io.Writer) *TrajectoryWriter { return sim.NewTrajectoryWriter(w) }
+
+// WriteFrame appends the current state (sorted by particle ID) as one
+// trajectory frame.
+func (s *Simulation) WriteFrame(tw *TrajectoryWriter) error {
+	return tw.WriteFrame(s.Particles(), s.cfg.box(), s.steps)
+}
+
+// Save writes a binary checkpoint of the simulation (configuration,
+// progress, and full particle state) to w.
+func (s *Simulation) Save(w io.Writer) error {
+	cfg := s.cfg
+	return sim.Save(w, &sim.Checkpoint{
+		Header: sim.Header{
+			Step: int64(s.steps), N: int64(cfg.N), P: int64(cfg.P), C: int64(cfg.C),
+			Algorithm: int64(cfg.Algorithm), Dim: int64(cfg.Dim), Boundary: int64(cfg.Boundary),
+			Seed: cfg.Seed, BoxLength: cfg.BoxLength, Cutoff: cfg.Cutoff, DT: cfg.DT,
+			ForceK: cfg.ForceK, Softening: cfg.Softening, Lattice: cfg.Lattice,
+			Potential: int64(cfg.Potential), Epsilon: cfg.Epsilon, Sigma: cfg.Sigma,
+		},
+		Particles: s.Particles(),
+	})
+}
+
+// Load restores a simulation from a checkpoint written by Save. The
+// restored simulation continues from the checkpointed particle state and
+// step count, with the same configuration.
+func Load(r io.Reader) (*Simulation, error) {
+	cp, err := sim.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	h := cp.Header
+	cfg := Config{
+		N: int(h.N), P: int(h.P), C: int(h.C), Algorithm: Algorithm(h.Algorithm),
+		Dim: int(h.Dim), Boundary: Boundary(h.Boundary), Seed: h.Seed,
+		BoxLength: h.BoxLength, Cutoff: h.Cutoff, DT: h.DT,
+		ForceK: h.ForceK, Softening: h.Softening, Lattice: h.Lattice,
+		Potential: PotentialKind(h.Potential), Epsilon: h.Epsilon, Sigma: h.Sigma,
+	}.withDefaults()
+	if cfg.N != len(cp.Particles) {
+		return nil, fmt.Errorf("nbody: checkpoint particle count %d != header N %d", len(cp.Particles), cfg.N)
+	}
+	s := &Simulation{cfg: cfg, particles: cp.Particles, steps: int(h.Step)}
+	phys.SortByID(s.particles)
+	if err := s.dryRun(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,98 @@
+package nbody
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadResume(t *testing.T) {
+	sim, err := New(Config{N: 64, P: 16, C: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Steps() != 4 {
+		t.Errorf("restored steps = %d, want 4", restored.Steps())
+	}
+	if restored.Config().C != 2 || restored.Config().Seed != 9 {
+		t.Errorf("restored config %+v", restored.Config())
+	}
+
+	// Continuing the restored run must match continuing the original.
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	a, b := sim.Particles(), restored.Particles()
+	for i := range a {
+		if d := a[i].Pos.Dist(b[i].Pos); d > 1e-12 {
+			t.Fatalf("particle %d diverged by %g after resume", i, d)
+		}
+	}
+	// And still matches the serial reference.
+	worst, err := restored.VerifySerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-9 {
+		t.Errorf("restored run deviates from serial by %g", worst)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestObserve(t *testing.T) {
+	sim, err := New(Config{N: 32, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := sim.Observe()
+	if s0.Step != 0 || s0.Potential <= 0 {
+		t.Errorf("initial sample %+v implausible", s0)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	s1 := sim.Observe()
+	if s1.Step != 10 {
+		t.Errorf("sample step %d, want 10", s1.Step)
+	}
+	// Repulsion converts potential into kinetic energy.
+	if s1.Kinetic <= s0.Kinetic {
+		t.Errorf("kinetic energy did not grow: %g -> %g", s0.Kinetic, s1.Kinetic)
+	}
+}
+
+func TestRadialDistributionAPI(t *testing.T) {
+	sim, err := New(Config{N: 64, P: 1, Boundary: Periodic, Lattice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sim.RadialDistribution(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 10 {
+		t.Fatalf("bins = %d", len(g))
+	}
+	if _, err := sim.RadialDistribution(0, 4); err == nil {
+		t.Error("bad bins should error")
+	}
+}
