@@ -1,0 +1,36 @@
+# Build, vet, test and guard targets. `make check` is the full gate the
+# CI (and every PR) should run; the individual targets exist for quick
+# local iteration.
+
+GO ?= go
+
+.PHONY: check build vet test race obsdebug benchguard bench
+
+check: build vet test race obsdebug benchguard
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The comm substrate and the observability layer are the two places
+# goroutines share state; run them under the race detector.
+race:
+	$(GO) test -race ./internal/comm/... ./internal/obs/...
+
+# obsdebug builds enforce the Stats single-goroutine ownership contract.
+obsdebug:
+	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/...
+
+# Benchmark guard: the disabled observability path must not allocate
+# (asserted by TestDisabledPathAllocs) and the benchmark must run clean.
+benchguard:
+	$(GO) test -run TestDisabledPathAllocs ./internal/obs/
+	$(GO) test -run NONE -bench BenchmarkObsDisabled -benchtime 100000x ./internal/obs/
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1s ./internal/obs/

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/phys"
 	"repro/internal/trace"
 )
@@ -146,6 +147,11 @@ type Config struct {
 	// sends) — the optimization production MD codes add on top of the
 	// paper's synchronous algorithm.
 	Overlap bool
+	// Observe, when non-nil, records a per-rank event timeline and a
+	// metrics registry during runs; retrieve them with
+	// Simulation.Timeline and Simulation.MetricsSnapshot. Nil (the
+	// default) keeps the hot paths instrumentation-free.
+	Observe *ObserveOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -224,8 +230,13 @@ type Simulation struct {
 	cfg       Config
 	particles []Particle
 	report    *trace.Report
+	observer  *obs.Observer
 	steps     int
 }
+
+// errNotObserved is returned by the observability exporters when the
+// simulation was created without Config.Observe.
+var errNotObserved = fmt.Errorf("nbody: simulation not observed (set Config.Observe)")
 
 // New validates cfg, initializes the particle set deterministically from
 // the seed, and returns a ready simulation. The configuration is also
@@ -249,6 +260,9 @@ func New(cfg Config) (*Simulation, error) {
 	if err := s.dryRun(); err != nil {
 		return nil, err
 	}
+	// The observer attaches after the dry run so validation noise never
+	// reaches the timeline.
+	s.observer = cfg.observer()
 	return s, nil
 }
 
@@ -309,6 +323,7 @@ func (s *Simulation) Run(steps int) error {
 
 func (s *Simulation) advance(steps int) ([]Particle, *trace.Report, error) {
 	pr := s.cfg.params(steps)
+	pr.Options.Observe = s.observer
 	switch s.cfg.resolveAlgorithm() {
 	case CAAllPairs:
 		return core.AllPairs(s.particles, pr)

@@ -11,7 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -40,12 +43,28 @@ func main() {
 		trajFile    = flag.String("traj", "", "write an XYZ trajectory to this file (a frame per -observe interval, or start/end)")
 		saveFile    = flag.String("save", "", "write a checkpoint to this file after the run")
 		loadFile    = flag.String("load", "", "resume from a checkpoint file (overrides most flags)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event timeline (one track per rank) to this file; open in Perfetto")
+		traceJSONL  = flag.String("trace-jsonl", "", "write the event timeline as JSON lines to this file")
+		traceCap    = flag.Int("trace-events", 0, "per-rank event ring capacity (0 = default 65536)")
+		metricsOut  = flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file (flushed every second during the run)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	observing := *traceOut != "" || *traceJSONL != "" || *metricsOut != ""
 
 	cfg := nbody.Config{
 		N: *n, P: *p, C: *c, Dim: *dim, Cutoff: *cutoff,
 		DT: *dt, BoxLength: *boxL, Seed: *seed, Lattice: *lattice,
+	}
+	if observing {
+		cfg.Observe = &nbody.ObserveOptions{TimelineCapacity: *traceCap}
 	}
 	switch *algName {
 	case "auto":
@@ -96,6 +115,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if observing {
+			sim.EnableObservation(&nbody.ObserveOptions{TimelineCapacity: *traceCap})
+		}
 		cfg = sim.Config()
 		fmt.Printf("resumed from %s at step %d\n", *loadFile, sim.Steps())
 	} else {
@@ -124,6 +146,27 @@ func main() {
 		if err := sim.WriteFrame(traj); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	// Periodic metrics flush: rewrite the snapshot file once a second
+	// while the run progresses, so long runs are inspectable mid-flight.
+	var stopFlush chan struct{}
+	if *metricsOut != "" {
+		stopFlush = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := writeMetricsFile(sim, *metricsOut); err != nil {
+						log.Printf("metrics flush: %v", err)
+					}
+				case <-stopFlush:
+					return
+				}
+			}
+		}()
 	}
 
 	start := time.Now()
@@ -163,6 +206,27 @@ func main() {
 	fmt.Printf("wall time: %v (%v/step)\n\n", elapsed, elapsed/time.Duration(max(1, *steps)))
 	fmt.Print(sim.Report())
 
+	if stopFlush != nil {
+		close(stopFlush)
+		if err := writeMetricsFile(sim, *metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := writeTimeline(*traceOut, sim.WriteTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Chrome trace (%d ranks, %d events dropped) written to %s — open at https://ui.perfetto.dev\n",
+			sim.Timeline().Ranks(), sim.Timeline().Dropped(), *traceOut)
+	}
+	if *traceJSONL != "" {
+		if err := writeTimeline(*traceJSONL, sim.Timeline().WriteJSONL); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("JSONL timeline written to %s\n", *traceJSONL)
+	}
+
 	if *saveFile != "" {
 		f, err := os.Create(*saveFile)
 		if err != nil {
@@ -196,4 +260,31 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// writeMetricsFile rewrites path with the simulation's current metrics
+// snapshot (safe mid-run: the registry is concurrency-safe).
+func writeMetricsFile(sim *nbody.Simulation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sim.WriteMetrics(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTimeline creates path and streams a timeline export into it.
+func writeTimeline(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

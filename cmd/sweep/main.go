@@ -14,7 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -31,12 +36,25 @@ func main() {
 		dim      = flag.Int("dim", 2, "spatial dimension")
 		cutoff   = flag.Float64("cutoff", 0, "cutoff radius (0 = all pairs)")
 		steps    = flag.Int("steps", 5, "timesteps per configuration")
-		csFlag   = flag.String("cs", "1,2,4,8", "comma-separated replication factors")
-		autotune = flag.Bool("autotune", false, "pick c automatically instead of sweeping")
+		csFlag     = flag.String("cs", "1,2,4,8", "comma-separated replication factors")
+		autotune   = flag.Bool("autotune", false, "pick c automatically instead of sweeping")
+		traceOut   = flag.String("trace-out", "", "write one Chrome trace per configuration, with .c<N> inserted before the extension")
+		metricsOut = flag.String("metrics-out", "", "write one metrics snapshot per configuration, with .c<N> inserted before the extension")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	cfg := nbody.Config{N: *n, P: *p, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0}
+	if *traceOut != "" || *metricsOut != "" {
+		cfg.Observe = &nbody.ObserveOptions{}
+	}
 
 	if *autotune {
 		best, results, err := nbody.AutotuneC(cfg, *steps, nil)
@@ -82,5 +100,37 @@ func main() {
 		per := time.Since(start) / time.Duration(*steps)
 		rep := sim.Report()
 		fmt.Printf("c=%-4d %14v %16d %14d\n", c, per, rep.S()/int64(*steps), rep.W()/int64(*steps))
+		if *traceOut != "" {
+			path := perConfigPath(*traceOut, c)
+			if err := writeFile(path, sim.WriteTrace); err != nil {
+				log.Fatalf("c=%d: %v", c, err)
+			}
+			fmt.Printf("       trace written to %s\n", path)
+		}
+		if *metricsOut != "" {
+			path := perConfigPath(*metricsOut, c)
+			if err := writeFile(path, sim.WriteMetrics); err != nil {
+				log.Fatalf("c=%d: %v", c, err)
+			}
+			fmt.Printf("       metrics written to %s\n", path)
+		}
 	}
+}
+
+// perConfigPath inserts ".c<N>" before the extension: run.json → run.c4.json.
+func perConfigPath(path string, c int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.c%d%s", strings.TrimSuffix(path, ext), c, ext)
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

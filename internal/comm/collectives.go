@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Bcast distributes root's data to every rank of the communicator and
@@ -12,10 +14,17 @@ import (
 // send from the root, or a ring pipeline.
 func (c *Comm) Bcast(root int, data []byte) []byte {
 	c.checkPeer(root)
-	n := c.Size()
-	if n == 1 {
+	if c.Size() == 1 {
 		return data
 	}
+	t0 := c.tr.Now()
+	out := c.bcast(root, data)
+	c.tr.Collective(obs.KindBcast, t0, len(out))
+	return out
+}
+
+func (c *Comm) bcast(root int, data []byte) []byte {
+	n := c.Size()
 	switch c.opts.Collectives {
 	case Flat:
 		if c.rank == root {
@@ -103,10 +112,17 @@ func (c *Comm) fanInCombine(root, tag int, data []byte, combine func(acc, child 
 // algorithm, so runs are bit-reproducible.
 func (c *Comm) ReduceF64s(root int, vals []float64) []float64 {
 	c.checkPeer(root)
-	n := c.Size()
-	if n == 1 {
+	if c.Size() == 1 {
 		return vals
 	}
+	t0 := c.tr.Now()
+	out := c.reduceF64s(root, vals)
+	c.tr.Collective(obs.KindReduce, t0, 8*len(vals))
+	return out
+}
+
+func (c *Comm) reduceF64s(root int, vals []float64) []float64 {
+	n := c.Size()
 	switch c.opts.Collectives {
 	case Flat:
 		if c.rank != root {
@@ -167,6 +183,8 @@ func (c *Comm) AllreduceF64s(vals []float64) []float64 {
 func (c *Comm) Gather(root int, data []byte) [][]byte {
 	c.checkPeer(root)
 	n := c.Size()
+	t0 := c.tr.Now()
+	defer func() { c.tr.Collective(obs.KindGather, t0, len(data)) }()
 	if c.rank != root {
 		c.Send(root, tagGather, data)
 		return nil
@@ -190,6 +208,7 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	if n == 1 {
 		return out
 	}
+	t0 := c.tr.Now()
 	next := (c.rank + 1) % n
 	prev := (c.rank - 1 + n) % n
 	blk := frameBlock(c.rank, data)
@@ -199,6 +218,7 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 		out[rank] = payload
 		blk = recv
 	}
+	c.tr.Collective(obs.KindAllgather, t0, len(data))
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -42,7 +43,12 @@ func (a CollectiveAlg) String() string {
 type Options struct {
 	// Collectives selects the collective algorithm (default Tree).
 	Collectives CollectiveAlg
-	set         bool
+	// Observe, when non-nil, records every rank's activity into the
+	// carried timeline (per-event tracing) and metrics registry. Nil
+	// disables observation; the instrumented paths then cost only nil
+	// checks.
+	Observe *obs.Observer
+	set     bool
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +67,8 @@ type Comm struct {
 	group []int // world rank of each communicator rank
 	opts  Options
 	stats *trace.Stats
+	tr    *obs.Tracer  // nil = timeline disabled
+	cm    *commMetrics // nil = metrics disabled
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -78,6 +86,19 @@ func (c *Comm) Stats() *trace.Stats { return c.stats }
 
 // SetPhase labels subsequent communication and computation with phase.
 func (c *Comm) SetPhase(p trace.Phase) { c.stats.SetPhase(p) }
+
+// Tracer returns the rank's timeline tracer (nil when the run is not
+// observed; a nil tracer accepts all calls as no-ops).
+func (c *Comm) Tracer() *obs.Tracer { return c.tr }
+
+// Metrics returns the run's metrics registry (nil when the run is not
+// observed; a nil registry hands out nil no-op instruments).
+func (c *Comm) Metrics() *obs.Registry {
+	if c.opts.Observe == nil {
+		return nil
+	}
+	return c.opts.Observe.Metrics
+}
 
 // Options returns the options the communicator was created with.
 func (c *Comm) Options() Options { return c.opts }
@@ -98,6 +119,7 @@ func (c *Comm) Send(to, tag int, data []byte) {
 		panic("comm: self-send (use local copies instead)")
 	}
 	box := c.rt.boxes[c.group[to]][c.group[c.rank]]
+	c.cm.countSend(len(data), len(box))
 	m := message{comm: c.id, tag: tag, data: data}
 	select {
 	case box <- m:
@@ -105,6 +127,7 @@ func (c *Comm) Send(to, tag int, data []byte) {
 		panic(errAborted{})
 	}
 	c.stats.CountMessage(len(data))
+	c.tr.Send(c.group[to], tag, len(data))
 }
 
 // Recv blocks until the next message from rank `from` of this
@@ -118,6 +141,7 @@ func (c *Comm) Recv(from, tag int) []byte {
 		panic("comm: self-receive")
 	}
 	box := c.rt.boxes[c.group[c.rank]][c.group[from]]
+	t0 := c.tr.Now()
 	select {
 	case m := <-box:
 		if m.comm != c.id || m.tag != tag {
@@ -125,6 +149,8 @@ func (c *Comm) Recv(from, tag int) []byte {
 				c.rank, c.id, tag, from, m.comm, m.tag))
 		}
 		c.stats.CountRecv(len(m.data))
+		c.tr.Recv(t0, c.group[from], tag, len(m.data))
+		c.cm.countRecv(len(m.data))
 		return m.data
 	case <-c.rt.abort:
 		panic(errAborted{})
@@ -151,10 +177,12 @@ func (c *Comm) Barrier() {
 	if c.Size() == 1 {
 		return
 	}
+	t0 := c.tr.Now()
 	// Binomial fan-in then fan-out, independent of the collective
 	// algorithm option: a barrier carries no payload worth modelling.
 	c.fanIn(0, tag, nil)
 	c.fanOut(0, tag, nil)
+	c.tr.Collective(obs.KindBarrier, t0, 0)
 }
 
 // Split partitions the communicator by color, ordering ranks of each new
@@ -194,6 +222,8 @@ func (c *Comm) Split(color, key int) *Comm {
 		group: group,
 		opts:  c.opts,
 		stats: c.stats,
+		tr:    c.tr,
+		cm:    c.cm,
 	}
 }
 
@@ -216,7 +246,7 @@ func (c *Comm) Sub(parentRanks []int) *Comm {
 	if newRank == -1 {
 		panic("comm: Sub called by rank outside the sub-group")
 	}
-	return &Comm{rt: c.rt, id: h, rank: newRank, group: group, opts: c.opts, stats: c.stats}
+	return &Comm{rt: c.rt, id: h, rank: newRank, group: group, opts: c.opts, stats: c.stats, tr: c.tr, cm: c.cm}
 }
 
 // Tags used by the built-in collectives; user code must use tags >= 0.

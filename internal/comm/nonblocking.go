@@ -32,6 +32,8 @@ func (c *Comm) Isend(to, tag int, data []byte) *Request {
 	box := c.rt.boxes[dst][src]
 	m := message{comm: c.id, tag: tag, data: data}
 	c.stats.CountMessage(len(data))
+	c.tr.Send(dst, tag, len(data))
+	c.cm.countSend(len(data), len(box))
 
 	// An earlier overflow send to the same destination that is still in
 	// flight forbids the fast path: delivering inline would reorder the

@@ -1,0 +1,200 @@
+package comm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestObservedRunRecordsEvents checks the full observation path: a Run
+// with an Observer attached records phase spans, sends, receives and
+// collective events per rank, and the metrics registry sees the same
+// message counts as the trace accounting.
+func TestObservedRunRecordsEvents(t *testing.T) {
+	const p = 4
+	o := obs.NewObserver(p, 1024)
+	rep, err := Run(p, Options{Observe: o}, func(c *Comm) error {
+		c.Stats().StartTiming()
+		defer c.Stats().StopTiming()
+		c.SetPhase(trace.Broadcast)
+		data := c.Bcast(0, []byte("payload"))
+		c.SetPhase(trace.Shift)
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() - 1 + c.Size()) % c.Size()
+		c.Sendrecv(next, data, prev, 5)
+		c.SetPhase(trace.Reduce)
+		c.ReduceF64s(0, []float64{1, 2})
+		c.Barrier()
+		c.SetPhase(trace.Other)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[obs.Kind]int{}
+	for r := 0; r < p; r++ {
+		evs := o.Timeline.Events(r)
+		if len(evs) == 0 {
+			t.Fatalf("rank %d recorded no events", r)
+		}
+		for _, ev := range evs {
+			kinds[ev.Kind]++
+		}
+	}
+	for _, k := range []obs.Kind{obs.KindPhase, obs.KindSend, obs.KindRecv, obs.KindBcast, obs.KindReduce, obs.KindBarrier} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events recorded (kinds: %v)", k, kinds)
+		}
+	}
+
+	// Metrics and trace accounting must agree on global message counts.
+	snap := o.Metrics.Snapshot()
+	var sumSent, sumBytes int64
+	for _, ph := range trace.Phases() {
+		sumSent += rep.Sum[ph].Messages
+		sumBytes += rep.Sum[ph].Bytes
+	}
+	if got := snap.Counters["comm.sent.msgs"]; got != sumSent {
+		t.Errorf("metrics sent msgs = %d, trace = %d", got, sumSent)
+	}
+	if got := snap.Counters["comm.sent.bytes"]; got != sumBytes {
+		t.Errorf("metrics sent bytes = %d, trace = %d", got, sumBytes)
+	}
+	if got := snap.Counters["comm.recv.msgs"]; got != sumSent {
+		t.Errorf("metrics recv msgs = %d, want %d (every send is received)", got, sumSent)
+	}
+	if snap.Histograms["comm.msg.bytes"].Count != sumSent {
+		t.Errorf("msg size histogram count %d, want %d", snap.Histograms["comm.msg.bytes"].Count, sumSent)
+	}
+}
+
+// TestTimelinePhaseTotalsMatchReport is the acceptance check that the
+// timeline's per-phase span totals agree with trace.Report's wall-clock
+// phase accounting: both measure the same SetPhase boundaries, so the
+// critical-path (max over ranks) totals must match within 5% plus a
+// small absolute floor for scheduler jitter on near-empty phases.
+func TestTimelinePhaseTotalsMatchReport(t *testing.T) {
+	const p = 8
+	o := obs.NewObserver(p, 1<<14)
+	rep, err := Run(p, Options{Observe: o}, func(c *Comm) error {
+		c.Stats().StartTiming()
+		defer c.Stats().StopTiming()
+		for step := 0; step < 3; step++ {
+			c.SetPhase(trace.Broadcast)
+			payload := make([]byte, 1<<12)
+			c.Bcast(0, payload)
+			c.SetPhase(trace.Compute)
+			busySpin(2 * time.Millisecond)
+			c.SetPhase(trace.Shift)
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() - 1 + c.Size()) % c.Size()
+			c.Sendrecv(next, payload, prev, step)
+			c.SetPhase(trace.Reduce)
+			c.ReduceF64s(0, []float64{float64(step)})
+			c.SetPhase(trace.Other)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totals := o.Timeline.PhaseTotals()
+	for _, ph := range []trace.Phase{trace.Broadcast, trace.Compute, trace.Shift, trace.Reduce} {
+		reportNs := int64(rep.CriticalPath[ph].Time)
+		timelineNs := totals[ph.String()]
+		if reportNs == 0 {
+			t.Errorf("phase %v: report recorded no time", ph)
+			continue
+		}
+		diff := timelineNs - reportNs
+		if diff < 0 {
+			diff = -diff
+		}
+		// 5% relative tolerance with a 200µs absolute floor: the two
+		// clocks sample the same boundaries but not atomically.
+		tol := reportNs / 20
+		if tol < 200_000 {
+			tol = 200_000
+		}
+		if diff > tol {
+			t.Errorf("phase %v: timeline %v vs report %v (diff %v > tol %v)",
+				ph, time.Duration(timelineNs), time.Duration(reportNs), time.Duration(diff), time.Duration(tol))
+		}
+	}
+}
+
+// busySpin burns CPU for d without sleeping, so the time is charged to
+// the caller's phase the way force computation would be.
+func busySpin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// TestUnobservedRunUnchanged pins the disabled path: no observer, no
+// events, and the runtime behaves exactly as before.
+func TestUnobservedRunUnchanged(t *testing.T) {
+	rep, err := Run(2, Options{}, func(c *Comm) error {
+		if c.Tracer() != nil {
+			return nil // tracer must be nil; checked below via panic-free no-ops
+		}
+		c.Tracer().Send(0, 0, 0) // nil tracer: must be a no-op
+		c.Metrics().Counter("x").Inc()
+		c.SetPhase(trace.Shift)
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("x"))
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sum[trace.Shift].Messages != 1 {
+		t.Errorf("unobserved accounting broken: %+v", rep.Sum[trace.Shift])
+	}
+}
+
+// TestObservedIsendPath checks the nonblocking send path records events
+// and metrics like the blocking one.
+func TestObservedIsendPath(t *testing.T) {
+	o := obs.NewObserver(2, 256)
+	_, err := Run(2, Options{Observe: o}, func(c *Comm) error {
+		c.SetPhase(trace.Shift)
+		if c.Rank() == 0 {
+			req := c.Isend(1, 7, []byte("abcd"))
+			req.Wait()
+		} else {
+			req := c.Irecv(0, 7)
+			if got := req.Wait(); string(got) != "abcd" {
+				t.Errorf("irecv payload %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sends, recvs int
+	for r := 0; r < 2; r++ {
+		for _, ev := range o.Timeline.Events(r) {
+			switch ev.Kind {
+			case obs.KindSend:
+				sends++
+			case obs.KindRecv:
+				recvs++
+			}
+		}
+	}
+	if sends != 1 || recvs != 1 {
+		t.Errorf("sends=%d recvs=%d, want 1/1", sends, recvs)
+	}
+	if got := o.Metrics.Snapshot().Counters["comm.sent.msgs"]; got != 1 {
+		t.Errorf("metrics sent = %d", got)
+	}
+}

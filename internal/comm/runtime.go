@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -98,11 +99,25 @@ type errAborted struct{}
 // finish. The first error returned (or panic raised) by any rank aborts
 // the whole execution: ranks blocked in communication unwind cleanly and
 // Run returns that first error.
+//
+// When opts.Observe carries a timeline and/or metrics registry, every
+// rank's communication is additionally recorded there: phase spans and
+// per-message events on the timeline, message-size and mailbox-depth
+// distributions in the registry.
 func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 	rt := NewRuntime(size)
+	var cm *commMetrics
+	if o := opts.Observe; o != nil {
+		o.Timeline.SetPhaseNamesIfUnset(trace.PhaseNames())
+		cm = newCommMetrics(o.Metrics)
+	}
 	var wg sync.WaitGroup
 	wg.Add(size)
 	for r := 0; r < size; r++ {
+		var tr *obs.Tracer
+		if o := opts.Observe; o != nil {
+			tr = o.Timeline.Rank(r)
+		}
 		world := &Comm{
 			rt:    rt,
 			id:    worldID,
@@ -110,9 +125,12 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 			group: identity(size),
 			opts:  opts.withDefaults(),
 			stats: rt.stats[r],
+			tr:    tr,
+			cm:    cm,
 		}
 		go func(c *Comm) {
 			defer wg.Done()
+			defer c.tr.Close()
 			defer func() {
 				switch v := recover().(type) {
 				case nil:
@@ -122,6 +140,7 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 					rt.fail(fmt.Errorf("comm: rank %d panicked: %v", c.rank, v))
 				}
 			}()
+			c.stats.SetTracer(c.tr)
 			if err := fn(c); err != nil {
 				rt.fail(fmt.Errorf("comm: rank %d: %w", c.rank, err))
 			}
@@ -131,6 +150,53 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.Report(), rt.err
+}
+
+// commMetrics holds the substrate's pre-resolved registry instruments,
+// shared by all ranks (updates are atomic). Resolving once at Run start
+// keeps map lookups out of the per-message path. A nil *commMetrics
+// disables all of it at the cost of one nil check per site.
+type commMetrics struct {
+	sentMsgs  *obs.Counter
+	sentBytes *obs.Counter
+	recvMsgs  *obs.Counter
+	recvBytes *obs.Counter
+	msgBytes  *obs.Histogram // payload size distribution of sends
+	mailbox   *obs.Histogram // destination mailbox depth seen by sends
+}
+
+func newCommMetrics(reg *obs.Registry) *commMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &commMetrics{
+		sentMsgs:  reg.Counter("comm.sent.msgs"),
+		sentBytes: reg.Counter("comm.sent.bytes"),
+		recvMsgs:  reg.Counter("comm.recv.msgs"),
+		recvBytes: reg.Counter("comm.recv.bytes"),
+		msgBytes:  reg.Histogram("comm.msg.bytes"),
+		mailbox:   reg.Histogram("comm.mailbox.depth"),
+	}
+}
+
+// countSend records one sent message in the registry instruments.
+func (m *commMetrics) countSend(bytes, boxDepth int) {
+	if m == nil {
+		return
+	}
+	m.sentMsgs.Inc()
+	m.sentBytes.Add(int64(bytes))
+	m.msgBytes.Observe(int64(bytes))
+	m.mailbox.Observe(int64(boxDepth))
+}
+
+// countRecv records one received message in the registry instruments.
+func (m *commMetrics) countRecv(bytes int) {
+	if m == nil {
+		return
+	}
+	m.recvMsgs.Inc()
+	m.recvBytes.Add(int64(bytes))
 }
 
 func identity(n int) []int {

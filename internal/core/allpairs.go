@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/phys"
@@ -60,7 +61,25 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 		st.StartTiming()
 		defer st.StopTiming()
 
+		// Per-step metrics: rank 0 records each step's wall time (the
+		// loop is lock-step, so one rank's cadence stands for the
+		// run's); every rank feeds its per-step compute time into a
+		// shared histogram whose max/mean ratio is the per-step compute
+		// imbalance. Handles are nil — and the calls no-ops — when the
+		// run is not observed.
+		mx := world.Metrics()
+		stepWall := mx.Histogram("step.wall_ns")
+		stepCompute := mx.Histogram("step.compute_ns")
+		stepsDone := mx.Counter("step.count")
+		observed := mx != nil
+
 		for step := 0; step < pr.Steps; step++ {
+			var t0 time.Time
+			var computeBefore time.Duration
+			if observed {
+				t0 = time.Now()
+				computeBefore = st.ByPhase[trace.Compute].Time
+			}
 			// (1) Broadcast St from the team leader to team members.
 			st.SetPhase(trace.Broadcast)
 			var payload []byte
@@ -134,6 +153,13 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 				phys.Step(mine, pr.Box, pr.DT)
 			}
 			st.SetPhase(trace.Other)
+			if observed {
+				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
+				if rank == 0 {
+					stepWall.Observe(time.Since(t0).Nanoseconds())
+					stepsDone.Inc()
+				}
+			}
 		}
 
 		if row == 0 {

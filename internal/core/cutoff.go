@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/phys"
@@ -94,7 +95,23 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		st.StartTiming()
 		defer st.StopTiming()
 
+		// Per-step metrics, mirroring the all-pairs loop: step wall
+		// time from rank 0, per-rank per-step compute time from every
+		// rank (its max/mean is the spatial-imbalance signal the cutoff
+		// algorithm's boundary effects show up in).
+		mx := world.Metrics()
+		stepWall := mx.Histogram("step.wall_ns")
+		stepCompute := mx.Histogram("step.compute_ns")
+		stepsDone := mx.Counter("step.count")
+		observed := mx != nil
+
 		for step := 0; step < pr.Steps; step++ {
+			var t0 time.Time
+			var computeBefore time.Duration
+			if observed {
+				t0 = time.Now()
+				computeBefore = st.ByPhase[trace.Compute].Time
+			}
 			// (1) Broadcast St within the team.
 			st.SetPhase(trace.Broadcast)
 			var payload []byte
@@ -187,6 +204,13 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 				}
 			}
 			st.SetPhase(trace.Other)
+			if observed {
+				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
+				if rank == 0 {
+					stepWall.Observe(time.Since(t0).Nanoseconds())
+					stepsDone.Inc()
+				}
+			}
 		}
 
 		if layer == 0 {

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps and durations are microseconds. Perfetto and
+// chrome://tracing both load the {"traceEvents": [...]} envelope.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the timeline as Chrome trace-event JSON:
+// one pid per rank (named "rank N"), phase and collective spans as
+// complete ("X") events, sends as instant ("i") events, receives as
+// spans covering the blocked wait. Load the file in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	for r := 0; r < tl.Ranks(); r++ {
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		}); err != nil {
+			return err
+		}
+		for _, ev := range tl.Events(r) {
+			if err := emit(tl.chrome(r, ev)); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chrome converts one event to its Chrome trace representation.
+func (tl *Timeline) chrome(rank int, ev Event) chromeEvent {
+	ce := chromeEvent{
+		Ts:  float64(ev.Start) / 1e3,
+		Dur: float64(ev.Dur) / 1e3,
+		Pid: rank,
+		Tid: 0,
+	}
+	switch ev.Kind {
+	case KindPhase:
+		ce.Name = tl.PhaseName(ev.Phase)
+		ce.Cat = "phase"
+		ce.Ph = "X"
+	case KindSend:
+		ce.Name = "send"
+		ce.Cat = "msg"
+		ce.Ph = "i"
+		ce.Scope = "t"
+		ce.Dur = 0
+		ce.Args = map[string]any{"peer": ev.Peer, "tag": ev.Tag, "bytes": ev.Bytes}
+	case KindRecv:
+		ce.Name = "recv"
+		ce.Cat = "msg"
+		ce.Ph = "X"
+		ce.Tid = 1 // separate track so waits don't occlude phase spans
+		ce.Args = map[string]any{"peer": ev.Peer, "tag": ev.Tag, "bytes": ev.Bytes}
+	default:
+		ce.Name = ev.Kind.String()
+		ce.Cat = "collective"
+		ce.Ph = "X"
+		ce.Tid = 1
+		if ev.Bytes > 0 {
+			ce.Args = map[string]any{"bytes": ev.Bytes}
+		}
+	}
+	return ce
+}
+
+// jsonlEvent is the JSONL export record: self-describing field names,
+// one event per line, rank-major order.
+type jsonlEvent struct {
+	Rank    int    `json:"rank"`
+	Kind    string `json:"kind"`
+	Phase   string `json:"phase"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns,omitempty"`
+	Peer    int32  `json:"peer,omitempty"`
+	Tag     int32  `json:"tag,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+}
+
+// WriteJSONL serializes the timeline as JSON lines for ad-hoc tooling
+// (jq, pandas): one event per line with nanosecond times.
+func (tl *Timeline) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for r := 0; r < tl.Ranks(); r++ {
+		for _, ev := range tl.Events(r) {
+			rec := jsonlEvent{
+				Rank:    r,
+				Kind:    ev.Kind.String(),
+				Phase:   tl.PhaseName(ev.Phase),
+				StartNs: ev.Start,
+				DurNs:   ev.Dur,
+				Peer:    ev.Peer,
+				Tag:     ev.Tag,
+				Bytes:   ev.Bytes,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// PhaseTotals sums the recorded span durations per phase name across
+// all ranks, returning per-phase maxima over ranks (the critical-path
+// view matching trace.Report's time(max) column) — used by tests to
+// check the timeline agrees with the aggregate accounting.
+func (tl *Timeline) PhaseTotals() map[string]int64 {
+	out := make(map[string]int64)
+	for r := 0; r < tl.Ranks(); r++ {
+		per := make(map[string]int64)
+		for _, ev := range tl.Events(r) {
+			if ev.Kind == KindPhase {
+				per[tl.PhaseName(ev.Phase)] += ev.Dur
+			}
+		}
+		for name, d := range per {
+			if d > out[name] {
+				out[name] = d
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package obs is the observability layer under the trace package: where
+// trace answers "how much communication did each phase cost in
+// aggregate", obs answers "which shift step stalled, on which rank,
+// waiting on whom". It provides three independent pieces:
+//
+//   - Timeline: a per-rank, fixed-capacity ring buffer of typed events
+//     (phase spans, per-message sends and receives with peer/tag/bytes,
+//     barrier and collective entry/exit). The disabled path — every
+//     method on a nil *Tracer — costs a nil check and returns, so
+//     instrumentation can stay unconditionally in the hot paths of the
+//     comm substrate. Timelines export as Chrome trace-event JSON (one
+//     pid per rank, loadable in Perfetto or chrome://tracing) and as
+//     JSONL for ad-hoc tooling.
+//
+//   - Registry: a concurrency-safe metrics registry of counters, gauges
+//     and log₂-bucketed histograms (message sizes, per-step wall times,
+//     mailbox occupancy). Snapshot() freezes it into a serializable,
+//     JSON-marshalable value.
+//
+//   - Observer: the bundle of the two that rides through comm.Options
+//     into the runtime, so one configuration knob turns a run into a
+//     complete, inspectable timeline.
+//
+// obs deliberately imports nothing from this repository, so any layer
+// (trace, comm, core, the public API) may depend on it without cycles.
+// Phase identities are plain small integers; the owner of the phase
+// vocabulary (package trace) registers display names on the Timeline.
+package obs
+
+// Observer bundles the event timeline and the metrics registry of one
+// observed run. Either field may be nil to enable only the other.
+type Observer struct {
+	Timeline *Timeline
+	Metrics  *Registry
+}
+
+// NewObserver returns an observer with a timeline of the given rank
+// count and per-rank event capacity plus a fresh metrics registry.
+// capacity <= 0 selects DefaultCapacity.
+func NewObserver(ranks, capacity int) *Observer {
+	o := &Observer{
+		Timeline: NewTimeline(ranks, capacity),
+		Metrics:  NewRegistry(),
+	}
+	o.Timeline.AttachMetrics(o.Metrics)
+	return o
+}

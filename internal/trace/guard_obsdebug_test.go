@@ -1,0 +1,63 @@
+//go:build obsdebug
+
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGuardSameGoroutine checks that single-goroutine use — the
+// documented contract — passes under the obsdebug owner check.
+func TestGuardSameGoroutine(t *testing.T) {
+	s := NewStats()
+	s.SetPhase(Shift)
+	s.CountMessage(10)
+	s.CountRecv(10)
+	s.StartTiming()
+	s.StopTiming()
+}
+
+// TestGuardCrossGoroutinePanics checks that mutating a Stats from a
+// goroutine other than its owner panics.
+func TestGuardCrossGoroutinePanics(t *testing.T) {
+	s := NewStats()
+	s.CountMessage(1) // binds this goroutine as owner
+
+	var wg sync.WaitGroup
+	panicked := false
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		s.CountMessage(1)
+	}()
+	wg.Wait()
+	if !panicked {
+		t.Fatal("cross-goroutine Stats mutation did not panic under obsdebug")
+	}
+}
+
+// TestGuardOwnerBindsOnFirstUse checks that the owner is the first
+// mutator, not the creator: Stats are constructed by the runtime on the
+// launching goroutine and then handed to rank goroutines.
+func TestGuardOwnerBindsOnFirstUse(t *testing.T) {
+	s := NewStats() // created here, never mutated here
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var err any
+	go func() {
+		defer wg.Done()
+		defer func() { err = recover() }()
+		s.SetPhase(Compute)
+		s.CountMessage(1)
+	}()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("first mutation from a non-creating goroutine panicked: %v", err)
+	}
+}

@@ -5,9 +5,9 @@ import (
 	"time"
 )
 
-// phaseJSON is the serialized form of one phase's critical-path and
+// PhaseSummary is the serialized form of one phase's critical-path and
 // aggregate numbers.
-type phaseJSON struct {
+type PhaseSummary struct {
 	Phase        string  `json:"phase"`
 	MaxSent      int64   `json:"max_sent_msgs"`
 	MaxSentBytes int64   `json:"max_sent_bytes"`
@@ -18,24 +18,33 @@ type phaseJSON struct {
 	Imbalance    float64 `json:"imbalance"`
 }
 
-type reportJSON struct {
-	Ranks  int         `json:"ranks"`
-	S      int64       `json:"s_critical_path"`
-	W      int64       `json:"w_critical_path_bytes"`
-	Phases []phaseJSON `json:"phases"`
+// Summary is the serialized form of a Report: the per-phase breakdown
+// plus the footer quantities (S, W, compute imbalance). Field names are
+// append-only so serialized reports stay backward-readable.
+type Summary struct {
+	Ranks            int            `json:"ranks"`
+	S                int64          `json:"s_critical_path"`
+	W                int64          `json:"w_critical_path_bytes"`
+	ComputeImbalance float64        `json:"compute_imbalance"`
+	Phases           []PhaseSummary `json:"phases"`
 }
 
-// JSON serializes the report for external tooling: per-phase
-// critical-path counts, times, and imbalance, plus the aggregate S and
-// W. Idle phases are omitted.
-func (r *Report) JSON() ([]byte, error) {
-	out := reportJSON{Ranks: r.Ranks, S: r.S(), W: r.W()}
+// Summary flattens the report into its serializable form: per-phase
+// critical-path counts, times, and imbalance, plus the aggregate S, W
+// and compute imbalance. Idle phases are omitted.
+func (r *Report) Summary() Summary {
+	out := Summary{
+		Ranks:            r.Ranks,
+		S:                r.S(),
+		W:                r.W(),
+		ComputeImbalance: r.ComputeImbalance(),
+	}
 	for _, p := range Phases() {
 		cp := r.CriticalPath[p]
 		if cp.Events() == 0 && cp.Time == 0 {
 			continue
 		}
-		out.Phases = append(out.Phases, phaseJSON{
+		out.Phases = append(out.Phases, PhaseSummary{
 			Phase:        p.String(),
 			MaxSent:      cp.Messages,
 			MaxSentBytes: cp.Bytes,
@@ -46,5 +55,18 @@ func (r *Report) JSON() ([]byte, error) {
 			Imbalance:    r.Imbalance(p),
 		})
 	}
-	return json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// JSON serializes the report's Summary for external tooling.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Summary(), "", "  ")
+}
+
+// ParseSummary decodes JSON produced by Report.JSON (of this or any
+// earlier version; fields added later decode to their zero values).
+func ParseSummary(data []byte) (Summary, error) {
+	var s Summary
+	err := json.Unmarshal(data, &s)
+	return s, err
 }

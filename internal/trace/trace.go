@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Phase labels one part of a timestep. The values mirror the phase
@@ -116,11 +118,15 @@ func (s *PhaseStats) Max(o PhaseStats) {
 }
 
 // Stats is the per-rank accounting record. It is not safe for concurrent
-// use; each rank owns exactly one.
+// use; each rank owns exactly one. Builds with the obsdebug tag enforce
+// the single-goroutine contract: the first mutating call binds the
+// owning goroutine and any mutation from another goroutine panics.
 type Stats struct {
 	phase   Phase
 	started time.Time
 	timing  bool
+	guard   guard
+	tracer  *obs.Tracer
 	ByPhase [numPhases]PhaseStats
 }
 
@@ -128,16 +134,31 @@ type Stats struct {
 // disabled.
 func NewStats() *Stats { return &Stats{phase: Other} }
 
+// SetTracer attaches a per-rank event tracer: subsequent SetPhase calls
+// emit timeline span events alongside the aggregate accounting. A nil
+// tracer (the default) disables span emission at the cost of a nil
+// check.
+func (s *Stats) SetTracer(t *obs.Tracer) {
+	s.tracer = t
+	s.tracer.Phase(uint8(s.phase))
+}
+
+// Tracer returns the attached event tracer (nil when disabled).
+func (s *Stats) Tracer() *obs.Tracer { return s.tracer }
+
 // SetPhase switches the active phase. If wall-clock timing was started
 // with StartTiming, the elapsed time since the last switch is charged to
-// the outgoing phase.
+// the outgoing phase. With a tracer attached, the outgoing phase's span
+// is emitted to the timeline.
 func (s *Stats) SetPhase(p Phase) {
+	s.guard.check()
 	if s.timing {
 		now := time.Now()
 		s.ByPhase[s.phase].Time += now.Sub(s.started)
 		s.started = now
 	}
 	s.phase = p
+	s.tracer.Phase(uint8(p))
 }
 
 // Phase returns the active phase.
@@ -145,6 +166,7 @@ func (s *Stats) Phase() Phase { return s.phase }
 
 // StartTiming begins charging wall time to phases.
 func (s *Stats) StartTiming() {
+	s.guard.check()
 	s.timing = true
 	s.started = time.Now()
 }
@@ -152,6 +174,7 @@ func (s *Stats) StartTiming() {
 // StopTiming charges the time since the last phase switch and stops the
 // clock.
 func (s *Stats) StopTiming() {
+	s.guard.check()
 	if s.timing {
 		s.ByPhase[s.phase].Time += time.Since(s.started)
 		s.timing = false
@@ -161,6 +184,7 @@ func (s *Stats) StopTiming() {
 // CountMessage attributes one sent message of n payload bytes to the
 // active phase.
 func (s *Stats) CountMessage(n int) {
+	s.guard.check()
 	s.ByPhase[s.phase].Messages++
 	s.ByPhase[s.phase].Bytes += int64(n)
 }
@@ -168,6 +192,7 @@ func (s *Stats) CountMessage(n int) {
 // CountRecv attributes one received message of n payload bytes to the
 // active phase.
 func (s *Stats) CountRecv(n int) {
+	s.guard.check()
 	s.ByPhase[s.phase].RecvMessages++
 	s.ByPhase[s.phase].RecvBytes += int64(n)
 }
@@ -259,7 +284,9 @@ func (r *Report) Imbalance(p Phase) float64 {
 func (r *Report) ComputeImbalance() float64 { return r.Imbalance(Compute) }
 
 // String renders the report as an aligned table of per-phase
-// critical-path numbers.
+// critical-path numbers, followed by a labeled footer with the paper's
+// headline quantities: the latency cost S, the bandwidth cost W, and
+// the compute imbalance.
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s %10s %13s %10s %13s %12s\n",
@@ -272,7 +299,9 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "%-10s %10d %13d %10d %13d %12s\n",
 			p, cp.Messages, cp.Bytes, cp.RecvMessages, cp.RecvBytes, cp.Time)
 	}
-	fmt.Fprintf(&b, "%-10s %10d %13d\n", "S/W", r.S(), r.W())
+	fmt.Fprintf(&b, "%-37s %12d\n", "S/W  S (critical-path msg events)", r.S())
+	fmt.Fprintf(&b, "%-37s %12d\n", "     W (critical-path bytes)", r.W())
+	fmt.Fprintf(&b, "%-37s %12.3f\n", "     compute imbalance (max/mean)", r.ComputeImbalance())
 	return b.String()
 }
 

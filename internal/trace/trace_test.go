@@ -91,6 +91,23 @@ func TestReportString(t *testing.T) {
 	if strings.Contains(out, "reassign") {
 		t.Errorf("idle phase rendered:\n%s", out)
 	}
+	// The footer labels S and W explicitly and includes the compute
+	// imbalance, each on its own aligned line.
+	for _, want := range []string{"S (critical-path msg events)", "W (critical-path bytes)", "compute imbalance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("footer missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("report too short:\n%s", out)
+	}
+	if !strings.HasSuffix(lines[len(lines)-3], " 1") { // S = 1 send event
+		t.Errorf("S footer line %q should end with the value 1", lines[len(lines)-3])
+	}
+	if !strings.HasSuffix(lines[len(lines)-1], "1.000") { // no timing: neutral imbalance
+		t.Errorf("imbalance footer line %q should end with 1.000", lines[len(lines)-1])
+	}
 }
 
 func TestPhaseNames(t *testing.T) {
@@ -130,6 +147,104 @@ func TestReportJSON(t *testing.T) {
 	ph := phases[0].(map[string]any)
 	if ph["phase"] != "shift" || ph["max_sent_bytes"].(float64) != 100 {
 		t.Errorf("phase entry %v", ph)
+	}
+}
+
+// TestAggregateEdgeCases pins Aggregate/Imbalance behavior for the
+// degenerate inputs: zero ranks, an empty (but non-nil) rank list,
+// zero-time phases, and a single rank.
+func TestAggregateEdgeCases(t *testing.T) {
+	// Zero ranks, nil and empty.
+	for _, ranks := range [][]*Stats{nil, {}} {
+		r := Aggregate(ranks)
+		if r.Ranks != 0 {
+			t.Errorf("Aggregate(%v).Ranks = %d, want 0", ranks, r.Ranks)
+		}
+		if r.S() != 0 || r.W() != 0 {
+			t.Errorf("empty report S/W = %d/%d, want 0/0", r.S(), r.W())
+		}
+		for _, p := range Phases() {
+			if got := r.Imbalance(p); got != 1 {
+				t.Errorf("empty report Imbalance(%v) = %g, want 1", p, got)
+			}
+		}
+		if _, err := r.JSON(); err != nil {
+			t.Errorf("empty report JSON: %v", err)
+		}
+	}
+
+	// Zero-time phases with message activity: imbalance stays neutral,
+	// counts still aggregate.
+	s := NewStats()
+	s.SetPhase(Shift)
+	s.CountMessage(8)
+	r := Aggregate([]*Stats{s})
+	if got := r.Imbalance(Shift); got != 1 {
+		t.Errorf("zero-time phase imbalance = %g, want 1", got)
+	}
+	if r.S() != 1 || r.W() != 8 {
+		t.Errorf("zero-time phase S/W = %d/%d, want 1/8", r.S(), r.W())
+	}
+
+	// Single rank: critical path equals the sum, imbalance is exactly 1.
+	one := NewStats()
+	one.ByPhase[Compute].Time = 3 * time.Second
+	one.SetPhase(Reduce)
+	one.CountMessage(100)
+	r = Aggregate([]*Stats{one})
+	if r.CriticalPath[Reduce] != r.Sum[Reduce] {
+		t.Errorf("single rank: critical path %+v != sum %+v", r.CriticalPath[Reduce], r.Sum[Reduce])
+	}
+	if got := r.ComputeImbalance(); got != 1 {
+		t.Errorf("single rank compute imbalance = %g, want 1", got)
+	}
+}
+
+// TestSummaryRoundTrip checks that Report.JSON output decodes back via
+// ParseSummary with the footer fields (S, W, compute imbalance) intact,
+// so serialized reports stay backward-readable as fields accrete.
+func TestSummaryRoundTrip(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.SetPhase(Shift)
+	a.CountMessage(100)
+	a.CountRecv(40)
+	a.ByPhase[Compute].Time = 3 * time.Second
+	b.ByPhase[Compute].Time = time.Second
+	r := Aggregate([]*Stats{a, b})
+
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSummary(data)
+	if err != nil {
+		t.Fatalf("ParseSummary: %v\n%s", err, data)
+	}
+	want := r.Summary()
+	if got.Ranks != want.Ranks || got.S != want.S || got.W != want.W {
+		t.Errorf("round trip header: got %+v want %+v", got, want)
+	}
+	if got.ComputeImbalance != want.ComputeImbalance || got.ComputeImbalance != 1.5 {
+		t.Errorf("round trip compute imbalance = %g, want %g", got.ComputeImbalance, want.ComputeImbalance)
+	}
+	if len(got.Phases) != len(want.Phases) {
+		t.Fatalf("round trip phases: got %d want %d", len(got.Phases), len(want.Phases))
+	}
+	for i := range got.Phases {
+		if got.Phases[i] != want.Phases[i] {
+			t.Errorf("phase %d: got %+v want %+v", i, got.Phases[i], want.Phases[i])
+		}
+	}
+
+	// Backward readability: a pre-footer serialization (no
+	// compute_imbalance key) still decodes, with the new field zero.
+	legacy := []byte(`{"ranks":2,"s_critical_path":3,"w_critical_path_bytes":140,"phases":[]}`)
+	old, err := ParseSummary(legacy)
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if old.S != 3 || old.W != 140 || old.ComputeImbalance != 0 {
+		t.Errorf("legacy decode = %+v", old)
 	}
 }
 

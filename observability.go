@@ -1,0 +1,102 @@
+package nbody
+
+import (
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Timeline is the per-rank event timeline of an observed run: one ring
+// of typed events (phase spans, sends, receives, collectives) per rank,
+// exportable as Chrome trace-event JSON (WriteChromeTrace; load in
+// Perfetto or chrome://tracing) or JSONL (WriteJSONL).
+type Timeline = obs.Timeline
+
+// TimelineEvent is one recorded event; see Simulation.Timeline.
+type TimelineEvent = obs.Event
+
+// MetricsSnapshot is a frozen view of an observed run's metrics
+// registry: counters, gauges and log₂-bucketed histograms.
+type MetricsSnapshot = obs.Snapshot
+
+// ObserveOptions enables per-event observability for a simulation: a
+// per-rank event timeline and a metrics registry, both populated by the
+// comm substrate and the timestep loops. The overhead with observation
+// off (Config.Observe == nil) is a few nil checks per event.
+type ObserveOptions struct {
+	// TimelineCapacity is the per-rank event ring capacity; older
+	// events are overwritten once exceeded (the Timeline reports how
+	// many were dropped). 0 selects the default, 64 Ki events per rank.
+	TimelineCapacity int
+}
+
+// observer builds the obs bundle for a configured simulation.
+func (c Config) observer() *obs.Observer {
+	if c.Observe == nil {
+		return nil
+	}
+	o := obs.NewObserver(c.P, c.Observe.TimelineCapacity)
+	o.Timeline.SetPhaseNames(trace.PhaseNames())
+	return o
+}
+
+// EnableObservation turns on observability for an existing simulation —
+// checkpoint restores (Load) construct simulations without passing
+// through Config.Observe. Passing nil enables the defaults. Events
+// record from the next Run; any previously recorded timeline is
+// discarded.
+func (s *Simulation) EnableObservation(opts *ObserveOptions) {
+	if opts == nil {
+		opts = &ObserveOptions{}
+	}
+	s.cfg.Observe = opts
+	s.observer = s.cfg.observer()
+}
+
+// Timeline returns the per-rank event timeline of this simulation, or
+// nil when Config.Observe is unset. The timeline spans all Run calls of
+// the simulation on a single clock, so chunked runs still export one
+// continuous trace.
+func (s *Simulation) Timeline() *Timeline {
+	if s.observer == nil {
+		return nil
+	}
+	return s.observer.Timeline
+}
+
+// MetricsSnapshot freezes and returns the simulation's metrics
+// registry: message-size and mailbox-depth distributions, per-step wall
+// and compute times, per-phase span durations. Empty when
+// Config.Observe is unset.
+func (s *Simulation) MetricsSnapshot() MetricsSnapshot {
+	if s.observer == nil {
+		return MetricsSnapshot{}
+	}
+	return s.observer.Metrics.Snapshot()
+}
+
+// WriteTrace writes the simulation's timeline as Chrome trace-event
+// JSON to w — one track (pid) per rank. It is a convenience wrapper
+// over Timeline().WriteChromeTrace that errors cleanly when the
+// simulation is not observed.
+func (s *Simulation) WriteTrace(w io.Writer) error {
+	tl := s.Timeline()
+	if tl == nil {
+		return errNotObserved
+	}
+	return tl.WriteChromeTrace(w)
+}
+
+// WriteMetrics writes the frozen metrics registry as JSON to w.
+func (s *Simulation) WriteMetrics(w io.Writer) error {
+	if s.observer == nil {
+		return errNotObserved
+	}
+	data, err := s.observer.Metrics.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
