@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obsdebug benchguard bench
+.PHONY: check build vet test race obsdebug benchguard benchsmoke bench
 
-check: build vet test race obsdebug benchguard
+check: build vet test race obsdebug benchguard benchsmoke
 
 build:
 	$(GO) build ./...
@@ -32,5 +32,15 @@ benchguard:
 	$(GO) test -run TestDisabledPathAllocs ./internal/obs/
 	$(GO) test -run NONE -bench BenchmarkObsDisabled -benchtime 100000x ./internal/obs/
 
+# Kernel smoke gate: the specialized LJ-cutoff kernel must beat the
+# generic per-pair path (small threshold, robust to loaded machines) and
+# must not allocate.
+benchsmoke:
+	$(GO) run ./cmd/bench -smoke
+
+# Full benchmark report: kernel microbenchmarks (generic vs specialized),
+# speedups, and end-to-end per-step wall times, written to
+# BENCH_PR2.json. The obs micro-benchmarks ride along.
 bench:
+	$(GO) run ./cmd/bench -o BENCH_PR2.json
 	$(GO) test -run NONE -bench . -benchtime 1s ./internal/obs/

@@ -39,7 +39,8 @@ func (a CollectiveAlg) String() string {
 	}
 }
 
-// Options configures a run of the runtime.
+// Options configures a run of the runtime. The zero value is the
+// default configuration: tree collectives, observation off.
 type Options struct {
 	// Collectives selects the collective algorithm (default Tree).
 	Collectives CollectiveAlg
@@ -48,12 +49,6 @@ type Options struct {
 	// disables observation; the instrumented paths then cost only nil
 	// checks.
 	Observe *obs.Observer
-	set     bool
-}
-
-func (o Options) withDefaults() Options {
-	o.set = true
-	return o
 }
 
 // Comm is one rank's handle on a communicator: a fixed group of world
@@ -110,9 +105,23 @@ func (c *Comm) checkPeer(peer int) {
 	}
 }
 
-// Send delivers data to rank `to` of this communicator under tag. The
-// payload is not copied; senders must not modify it afterwards. Send
+// Send delivers data to rank `to` of this communicator under tag. Send
 // blocks only when the destination mailbox is full.
+//
+// Buffer hand-off contract: payloads are never copied by the runtime.
+// Send transfers ownership of data to the receiver — the sender must not
+// write the slice after Send returns (reading a still-referenced copy is
+// fine, e.g. computing on a buffer that is in flight). Conversely, the
+// slice returned by Recv is owned by the receiver outright and may be
+// reused as a scratch or send buffer in later steps. Collectives follow
+// the same rule with one refinement: a broadcast payload may be aliased
+// by every rank of the communicator until those ranks are known to have
+// finished with it, so a root wanting to reuse its broadcast buffer must
+// first pass a synchronization point that transitively orders every
+// member behind the reuse (the timestep loops in internal/core use the
+// team force reduction for this). This contract is what lets the
+// steady-state timestep run with zero allocations in its encode, decode,
+// and frame paths.
 func (c *Comm) Send(to, tag int, data []byte) {
 	c.checkPeer(to)
 	if to == c.rank {

@@ -123,7 +123,7 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 			id:    worldID,
 			rank:  r,
 			group: identity(size),
-			opts:  opts.withDefaults(),
+			opts:  opts,
 			stats: rt.stats[r],
 			tr:    tr,
 			cm:    cm,

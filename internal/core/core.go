@@ -65,12 +65,18 @@ func (pr Params) validateCommon(n int) error {
 // flattenForces packs the force accumulators of ps into a float64 slice
 // (x0, y0, x1, y1, ...) for reduction.
 func flattenForces(ps []phys.Particle) []float64 {
-	out := make([]float64, 2*len(ps))
+	return flattenForcesInto(make([]float64, 0, 2*len(ps)), ps)
+}
+
+// flattenForcesInto is flattenForces appending into dst, reusing its
+// capacity; the timestep loops pass a retained scratch as dst[:0] so the
+// steady-state flatten allocates nothing. Reuse across steps is safe
+// because ReduceF64s copies the payload before any rank retains it.
+func flattenForcesInto(dst []float64, ps []phys.Particle) []float64 {
 	for i := range ps {
-		out[2*i] = ps[i].Force.X
-		out[2*i+1] = ps[i].Force.Y
+		dst = append(dst, ps[i].Force.X, ps[i].Force.Y)
 	}
-	return out
+	return dst
 }
 
 // applyForces writes reduced force values back into ps.

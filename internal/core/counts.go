@@ -99,6 +99,23 @@ func Cutoff1DExpectedCounts(n, p, c, m int) (ExpectedCounts, error) {
 	return e, nil
 }
 
+// AllPairsPairEvals returns the exact number of pair-force evaluations
+// the CA all-pairs algorithm performs per timestep, summed over all
+// ranks: each of the T = p/c teams updates its n/T targets against all n
+// sources exactly once, and the diagonal visit (the team's own block
+// replicated back at it) shares all n/T IDs, which Accumulate skips
+// without counting. Each team therefore contributes
+// phys.Interactions(n/T, n, n/T) and the total is n² − n regardless of p
+// and c — replication changes which rank evaluates a pair, never how
+// many evaluations happen. Instrumented runs expose the measured count
+// as the "compute.pairs" metrics counter, which the counts tests pin to
+// this closed form.
+func AllPairsPairEvals(n, p, c int) int64 {
+	T := p / c
+	npt := n / T
+	return int64(T) * phys.Interactions(npt, n, npt)
+}
+
 // AllPairsShiftWords returns the total shift-phase traffic per rank per
 // timestep in particles: (p/c²)·(nc/p) = n/c, the W_ca = O(n/c) term of
 // Equation 5.

@@ -103,7 +103,46 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		stepWall := mx.Histogram("step.wall_ns")
 		stepCompute := mx.Histogram("step.compute_ns")
 		stepsDone := mx.Counter("step.count")
+		pairEvals := mx.Counter("compute.pairs")
 		observed := mx != nil
+
+		// Per-rank fast-path state, built once per run (see AllPairs for
+		// the reuse-safety argument): specialized kernel, plus retained
+		// buffers for the broadcast payload, the framed exchange slice,
+		// and the decode/flatten scratch. Migration buffers are NOT
+		// reused — their sizes are data-dependent and their payloads are
+		// retained by the receiving leader.
+		kern := pr.Law.Kernel()
+		var (
+			bcastBuf []byte          // leader's broadcast payload
+			exchange []byte          // framed shift buffer owned between steps
+			teamCopy []phys.Particle // decoded team replica
+			visiting []phys.Particle // decode scratch for shift updates
+			forces   []float64       // flattened reduction payload
+		)
+		update := func(buf []byte) error {
+			srcTeam, body := unframeTeam(buf)
+			if !withinWindow(tg, team, srcTeam, m, wrap) {
+				return nil // aliased buffer from beyond a reflective edge
+			}
+			var err error
+			visiting, err = phys.DecodeSliceInto(visiting[:0], body)
+			if err != nil {
+				return err
+			}
+			st.SetPhase(trace.Compute)
+			pairEvals.Add(kern.AccumulateIn(teamCopy, visiting, pr.Box))
+			return nil
+		}
+		shiftPeers := func(i int) (to, from int, ok bool) {
+			mv := sched.Move(layer, i)
+			if mv == (topo.Offset{}) {
+				return 0, 0, false
+			}
+			to, _ = tg.Neighbor(team, mv.DX, mv.DY, true)
+			from, _ = tg.Neighbor(team, -mv.DX, -mv.DY, true)
+			return to, from, to != team
+		}
 
 		for step := 0; step < pr.Steps; step++ {
 			var t0 time.Time
@@ -116,10 +155,12 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 			st.SetPhase(trace.Broadcast)
 			var payload []byte
 			if layer == 0 {
-				payload = phys.EncodeSlice(mine)
+				bcastBuf = phys.AppendSlice(bcastBuf[:0], mine)
+				payload = bcastBuf
 			}
 			teamData := teamComm.Bcast(0, payload)
-			teamCopy, err := phys.DecodeSlice(teamData)
+			var err error
+			teamCopy, err = phys.DecodeSliceInto(teamCopy[:0], teamData)
 			if err != nil {
 				return err
 			}
@@ -127,8 +168,10 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 
 			// (2) The exchange buffer carries its true source team so
 			// receivers can reject aliased buffers near reflective
-			// boundaries.
-			exchange := frameTeam(team, teamData)
+			// boundaries. The slice overwritten here is the one received
+			// in the previous step's last shift; its sender relinquished
+			// it on Send.
+			exchange = appendFrameTeam(exchange[:0], team, teamData)
 
 			// (3)+(4) Skew, then shift through the cutoff window with
 			// stride c. In overlap mode the buffer for step i+1 is
@@ -136,28 +179,6 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 			// transfer hides behind the force evaluation (the payload is
 			// only read on both sides).
 			steps := sched.Steps(layer)
-			update := func(buf []byte) error {
-				srcTeam, body := unframeTeam(buf)
-				if !withinWindow(tg, team, srcTeam, m, wrap) {
-					return nil // aliased buffer from beyond a reflective edge
-				}
-				visiting, err := phys.DecodeSlice(body)
-				if err != nil {
-					return err
-				}
-				st.SetPhase(trace.Compute)
-				pr.Law.AccumulateIn(teamCopy, visiting, pr.Box)
-				return nil
-			}
-			shiftPeers := func(i int) (to, from int, ok bool) {
-				mv := sched.Move(layer, i)
-				if mv == (topo.Offset{}) {
-					return 0, 0, false
-				}
-				to, _ = tg.Neighbor(team, mv.DX, mv.DY, true)
-				from, _ = tg.Neighbor(team, -mv.DX, -mv.DY, true)
-				return to, from, to != team
-			}
 			for i := 0; i < steps; i++ {
 				if i == 0 {
 					st.SetPhase(trace.Skew)
@@ -189,7 +210,8 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 
 			// (5) Sum-reduce the team's force contributions.
 			st.SetPhase(trace.Reduce)
-			total := teamComm.ReduceF64s(0, flattenForces(teamCopy))
+			forces = flattenForcesInto(forces[:0], teamCopy)
+			total := teamComm.ReduceF64s(0, forces)
 
 			if layer == 0 {
 				applyForces(mine, total)
@@ -256,10 +278,17 @@ func withinWindow(tg topo.TeamGrid, team, src, m int, wrap bool) bool {
 
 // frameTeam prefixes the encoded particle payload with its source team.
 func frameTeam(team int, body []byte) []byte {
-	out := make([]byte, 4+len(body))
-	binary.LittleEndian.PutUint32(out, uint32(team))
-	copy(out[4:], body)
-	return out
+	return appendFrameTeam(make([]byte, 0, 4+len(body)), team, body)
+}
+
+// appendFrameTeam is frameTeam appending into dst, reusing its capacity;
+// the timestep loop passes a retained exchange buffer as dst[:0] so the
+// steady-state frame allocates nothing.
+func appendFrameTeam(dst []byte, team int, body []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(team))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
 }
 
 func unframeTeam(b []byte) (int, []byte) {

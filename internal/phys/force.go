@@ -66,16 +66,34 @@ func (l Law) PairPotential(pi, pj vec.Vec2) float64 {
 	return u
 }
 
-// Interactions is the number of pairwise force evaluations performed when
-// a set of ni target particles is updated against nj source particles.
-// Self-pairs are excluded by ID, not position, so the count is exact.
-func Interactions(ni, nj int) int64 { return int64(ni) * int64(nj) }
+// Interactions is the number of pairwise force evaluations performed
+// when ni target particles are updated against nj source particles of
+// which shared carry an ID also present among the targets. Accumulate
+// skips an equal-ID pair without counting it, so each shared ID removes
+// exactly one evaluation from the ni·nj total (IDs are unique within a
+// slice throughout this repository). Pass shared = ni when the sources
+// are a replica of the targets — the diagonal visit of every replicated
+// pass — and shared = 0 for disjoint sets.
+func Interactions(ni, nj, shared int) int64 {
+	return int64(ni)*int64(nj) - int64(shared)
+}
 
 // AccumulateIn is Accumulate evaluated under a box metric: displacements
 // are minimum-image for periodic boxes, so cutoff interactions wrap
 // correctly around the domain. Reflective boxes reduce to the plain
-// displacement.
+// displacement. It runs the specialized kernel (see Kernel); the
+// per-pair reference path is AccumulateInGeneric.
 func (l Law) AccumulateIn(targets, sources []Particle, box Box) int64 {
+	k := l.Kernel()
+	return k.AccumulateIn(targets, sources, box)
+}
+
+// AccumulateInGeneric is the unspecialized reference implementation of
+// AccumulateIn, evaluating every pair through Law.Pair with the kind and
+// cutoff re-tested per pair. The specialized kernels are verified
+// bitwise against it; benchmarks use it as the before-optimization
+// baseline. Semantics and results are identical to AccumulateIn.
+func (l Law) AccumulateInGeneric(targets, sources []Particle, box Box) int64 {
 	open := l
 	open.Cutoff = 0
 	rc2 := l.Cutoff * l.Cutoff
@@ -107,7 +125,18 @@ func (l Law) AccumulateIn(targets, sources []Particle, box Box) int64 {
 // is a replica of the target buffer). It returns the number of pair
 // evaluations actually performed, which the instrumented tests use to
 // check that the parallel schedules cover every pair exactly once.
+// It runs the specialized kernel (see Kernel); the per-pair reference
+// path is AccumulateGeneric.
 func (l Law) Accumulate(targets, sources []Particle) int64 {
+	k := l.Kernel()
+	return k.Accumulate(targets, sources)
+}
+
+// AccumulateGeneric is the unspecialized reference implementation of
+// Accumulate, evaluating every pair through Law.Pair. The specialized
+// kernels are verified bitwise against it; benchmarks use it as the
+// before-optimization baseline.
+func (l Law) AccumulateGeneric(targets, sources []Particle) int64 {
 	var n int64
 	for i := range targets {
 		t := &targets[i]

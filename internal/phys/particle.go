@@ -66,28 +66,51 @@ func (p *Particle) Decode(src []byte) ([]byte, error) {
 
 // EncodeSlice serializes all particles in ps into a fresh byte slice.
 func EncodeSlice(ps []Particle) []byte {
-	out := make([]byte, 0, len(ps)*WireSize)
+	return AppendSlice(make([]byte, 0, len(ps)*WireSize), ps)
+}
+
+// AppendSlice appends the wire representation of every particle in ps to
+// dst and returns the extended slice. Passing a retained buffer as
+// dst[:0] makes steady-state encoding allocation-free once the buffer
+// has grown to the payload size; this is the fast path the timestep
+// loops in internal/core use for their broadcast and exchange buffers.
+func AppendSlice(dst []byte, ps []Particle) []byte {
 	for i := range ps {
-		out = (&ps[i]).Encode(out)
+		dst = (&ps[i]).Encode(dst)
 	}
-	return out
+	return dst
 }
 
 // DecodeSlice deserializes a byte slice produced by EncodeSlice. It
 // returns an error if the length is not a multiple of WireSize.
 func DecodeSlice(b []byte) ([]Particle, error) {
+	return DecodeSliceInto(nil, b)
+}
+
+// DecodeSliceInto deserializes b like DecodeSlice but appends into dst,
+// reusing its capacity. Passing a retained scratch slice as dst[:0]
+// makes steady-state decoding allocation-free; the timestep loops in
+// internal/core use it for their team and visiting-particle scratch.
+func DecodeSliceInto(dst []Particle, b []byte) ([]Particle, error) {
 	if len(b)%WireSize != 0 {
 		return nil, fmt.Errorf("phys: buffer length %d not a multiple of %d", len(b), WireSize)
 	}
-	ps := make([]Particle, len(b)/WireSize)
-	for i := range ps {
+	base := len(dst)
+	n := len(b) / WireSize
+	if cap(dst)-base < n {
+		grown := make([]Particle, base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+n]
+	for i := 0; i < n; i++ {
 		var err error
-		b, err = (&ps[i]).Decode(b)
+		b, err = (&dst[base+i]).Decode(b)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return ps, nil
+	return dst, nil
 }
 
 // ClearForces zeroes the force accumulator of every particle in ps.

@@ -127,9 +127,47 @@ func TestInitDeterministicAndInBox(t *testing.T) {
 }
 
 func TestInteractions(t *testing.T) {
-	if got := Interactions(10, 20); got != 200 {
-		t.Errorf("Interactions = %d, want 200", got)
+	if got := Interactions(10, 20, 0); got != 200 {
+		t.Errorf("Interactions(disjoint) = %d, want 200", got)
 	}
+	// Replicated pass: every target meets its own ID once among the
+	// sources, and those diagonal pairs are skipped without being counted.
+	if got := Interactions(10, 10, 10); got != 90 {
+		t.Errorf("Interactions(replica) = %d, want 90", got)
+	}
+}
+
+// TestInteractionsMatchesAccumulate pins the prediction to the counter
+// Accumulate actually returns, for disjoint, replicated, and partially
+// overlapping ID sets — the bug the corrected signature fixes.
+func TestInteractionsMatchesAccumulate(t *testing.T) {
+	box := NewBox(10, 2, Reflective)
+	law := DefaultLaw()
+	targets := InitUniform(8, box, 1)
+	cases := []struct {
+		name    string
+		sources []Particle
+		shared  int
+	}{
+		{"disjoint", relabel(InitUniform(6, box, 2), 100), 0},
+		{"replica", append([]Particle(nil), targets...), len(targets)},
+		{"overlap", append(append([]Particle(nil), targets[:3]...), relabel(InitUniform(4, box, 3), 200)...), 3},
+	}
+	for _, tc := range cases {
+		got := law.Accumulate(append([]Particle(nil), targets...), tc.sources)
+		want := Interactions(len(targets), len(tc.sources), tc.shared)
+		if got != want {
+			t.Errorf("%s: Accumulate counted %d, Interactions predicts %d", tc.name, got, want)
+		}
+	}
+}
+
+// relabel offsets every particle ID by base, making ID sets disjoint.
+func relabel(ps []Particle, base uint32) []Particle {
+	for i := range ps {
+		ps[i].ID += base
+	}
+	return ps
 }
 
 func TestMaxForceErrorPanics(t *testing.T) {
