@@ -17,14 +17,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# The comm substrate and the observability layer are the two places
-# goroutines share state; run them under the race detector.
+# Goroutines share state in the comm substrate, the observability
+# layer, and — since the zero-copy typed transport — the core timestep
+# loops, whose buffers cross rank goroutines by reference under an
+# ownership-transfer contract. Run all three under the race detector:
+# for core it is the mechanical check of that contract.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/obs/...
+	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/core/...
 
 # obsdebug builds enforce the Stats single-goroutine ownership contract.
 obsdebug:
-	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/...
+	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/...
 
 # Benchmark guard: the disabled observability path must not allocate
 # (asserted by TestDisabledPathAllocs) and the benchmark must run clean.
@@ -32,15 +35,17 @@ benchguard:
 	$(GO) test -run TestDisabledPathAllocs ./internal/obs/
 	$(GO) test -run NONE -bench BenchmarkObsDisabled -benchtime 100000x ./internal/obs/
 
-# Kernel smoke gate: the specialized LJ-cutoff kernel must beat the
-# generic per-pair path (small threshold, robust to loaded machines) and
-# must not allocate.
+# Smoke gates: the specialized LJ-cutoff kernel must beat the generic
+# per-pair path and the typed transport must beat the serialize-and-ship
+# fallback (small thresholds, robust to loaded machines); the
+# specialized kernel must not allocate.
 benchsmoke:
 	$(GO) run ./cmd/bench -smoke
 
 # Full benchmark report: kernel microbenchmarks (generic vs specialized),
-# speedups, and end-to-end per-step wall times, written to
-# BENCH_PR2.json. The obs micro-benchmarks ride along.
+# speedups, end-to-end per-step wall times, and the typed-vs-encoded
+# transport comparison, written to BENCH_PR3.json. The obs
+# micro-benchmarks ride along.
 bench:
-	$(GO) run ./cmd/bench -o BENCH_PR2.json
+	$(GO) run ./cmd/bench -o BENCH_PR3.json
 	$(GO) test -run NONE -bench . -benchtime 1s ./internal/obs/

@@ -147,6 +147,12 @@ type Config struct {
 	// sends) — the optimization production MD codes add on top of the
 	// paper's synchronous algorithm.
 	Overlap bool
+	// EncodedTransport selects the serialize-and-ship message path for
+	// the CA timestep loops instead of the default zero-copy typed
+	// transport. Results and measured communication quantities are
+	// bit-identical either way; the encoded path exists as the
+	// verification fallback and benchmark baseline.
+	EncodedTransport bool
 	// Observe, when non-nil, records a per-rank event timeline and a
 	// metrics registry during runs; retrieve them with
 	// Simulation.Timeline and Simulation.MetricsSnapshot. Nil (the
@@ -211,6 +217,7 @@ func (c Config) params(steps int) core.Params {
 		Steps:   steps,
 		Options: comm.Options{Collectives: c.Collectives},
 		Overlap: c.Overlap,
+		Encoded: c.EncodedTransport,
 	}
 }
 

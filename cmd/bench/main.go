@@ -1,12 +1,15 @@
 // Command bench measures the hot-path force kernels against their
-// generic per-pair reference implementations and the end-to-end per-step
-// wall time of the parallel algorithms, writing the results as JSON
-// (BENCH_PR2.json in the repository root records a committed run).
+// generic per-pair reference implementations, the end-to-end per-step
+// wall time of the parallel algorithms, and the zero-copy typed
+// transport against the serialize-and-ship fallback, writing the
+// results as JSON (BENCH_PR3.json in the repository root records a
+// committed run).
 //
-//	bench -o BENCH_PR2.json   # full run, write the JSON report
-//	bench -smoke              # LJ-cutoff pair only; exit 1 unless the
-//	                          # specialized kernel beats the generic
-//	                          # path by the smoke threshold
+//	bench -o BENCH_PR3.json   # full run, write the JSON report
+//	bench -smoke              # fast gates only; exit 1 unless the
+//	                          # specialized LJ-cutoff kernel and the
+//	                          # typed transport beat their baselines
+//	                          # by the smoke thresholds
 //
 // The kernel microbenchmarks exercise phys.Kernel.Accumulate[In] and
 // CellList.Forces against AccumulateGeneric/AccumulateInGeneric/
@@ -14,6 +17,14 @@
 // exactly the win of hoisting the kind/cutoff/softening dispatch out of
 // the pair loop. allocs_per_op doubles as a regression guard: the
 // specialized loops must report 0.
+//
+// The transport comparison runs the same algorithm with the same
+// inputs under both transports (core.Params.Encoded toggles them), so
+// the reported speedup is exactly the win of moving particles through
+// the mailboxes by reference instead of through the wire codec. The
+// particle counts are deliberately communication-bound (small n, so
+// codec cost is a large fraction of the step) — that is the regime the
+// zero-copy path targets.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -49,26 +61,46 @@ type stepResult struct {
 	WallNsPerStep float64 `json:"wall_ns_per_step"`
 }
 
+// transportResult compares the typed and encoded transports on one
+// algorithm configuration.
+type transportResult struct {
+	Algorithm        string  `json:"algorithm"`
+	Particles        int     `json:"particles"`
+	Ranks            int     `json:"ranks"`
+	Replication      int     `json:"replication"`
+	Steps            int     `json:"steps"`
+	TypedNsPerStep   float64 `json:"typed_ns_per_step"`
+	EncodedNsPerStep float64 `json:"encoded_ns_per_step"`
+	Speedup          float64 `json:"speedup"`
+}
+
 type report struct {
 	GoVersion  string             `json:"go_version"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Kernels    []result           `json:"kernels"`
 	Speedups   map[string]float64 `json:"speedups"`
 	Timesteps  []stepResult       `json:"timesteps"`
+	Transport  []transportResult  `json:"transport"`
 }
 
 // smokeThreshold is the minimum LJ-cutoff speedup the -smoke gate
-// accepts. Deliberately below the ≥1.3× the committed BENCH_PR2.json
+// accepts. Deliberately below the ≥1.3× the committed BENCH_PR3.json
 // demonstrates: the gate guards against the fast path regressing to the
 // generic path's cost on loaded CI machines, not against noise.
 const smokeThreshold = 1.1
+
+// transportSmokeThreshold is the minimum typed-over-encoded all-pairs
+// speedup the -smoke gate accepts. The committed BENCH_PR3.json shows
+// ≥1.3×; the gate is set well below that so it trips only when the
+// typed path regresses to (near) codec cost, not on machine noise.
+const transportSmokeThreshold = 1.05
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out   = flag.String("o", "BENCH_PR2.json", "output path for the JSON report")
-		smoke = flag.Bool("smoke", false, "run only the LJ-cutoff pair and gate on the speedup")
+		out   = flag.String("o", "BENCH_PR3.json", "output path for the JSON report")
+		smoke = flag.Bool("smoke", false, "run only the smoke gates (LJ-cutoff kernel, typed transport)")
 	)
 	flag.Parse()
 
@@ -118,6 +150,10 @@ func main() {
 		}
 		if speedup < smokeThreshold {
 			log.Fatalf("FAIL: lj_cut speedup %.2fx below threshold %.2fx", speedup, smokeThreshold)
+		}
+		tr := transportAllPairs(3)
+		if tr.Speedup < transportSmokeThreshold {
+			log.Fatalf("FAIL: typed transport speedup %.2fx below threshold %.2fx", tr.Speedup, transportSmokeThreshold)
 		}
 		fmt.Println("ok")
 		return
@@ -178,9 +214,17 @@ func main() {
 	record("celllist", genericCL, fastCL)
 
 	rep.Timesteps = append(rep.Timesteps, timeAllPairs(), timeCutoff())
+	rep.Transport = append(rep.Transport, transportAllPairs(5), transportCutoff(5))
+	for _, tr := range rep.Transport {
+		rep.Speedups["transport_"+tr.Algorithm] = tr.Speedup
+	}
 
 	if rep.Speedups["lj_cut"] < smokeThreshold {
 		log.Fatalf("FAIL: lj_cut speedup %.2fx below threshold %.2fx", rep.Speedups["lj_cut"], smokeThreshold)
+	}
+	if rep.Speedups["transport_allpairs"] < transportSmokeThreshold {
+		log.Fatalf("FAIL: typed transport speedup %.2fx below threshold %.2fx",
+			rep.Speedups["transport_allpairs"], transportSmokeThreshold)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -238,4 +282,89 @@ func timeCutoff() stepResult {
 	wall := float64(time.Since(t0).Nanoseconds()) / steps
 	fmt.Printf("%-28s %14.1f ns/step\n", "cutoff n=512 p=8 c=2", wall)
 	return stepResult{Algorithm: "cutoff", Particles: n, Ranks: p, Replication: c, Steps: steps, WallNsPerStep: wall}
+}
+
+// medianStepTime runs run() reps times and returns the median per-step
+// wall time in nanoseconds. The median (not the mean or the min) keeps
+// a single descheduled run from poisoning the comparison either way.
+func medianStepTime(steps, reps int, run func()) float64 {
+	times := make([]float64, reps)
+	for i := range times {
+		t0 := time.Now()
+		run()
+		times[i] = float64(time.Since(t0).Nanoseconds()) / float64(steps)
+	}
+	sort.Float64s(times)
+	return times[len(times)/2]
+}
+
+// transportAllPairs times the all-pairs algorithm under both transports
+// on identical inputs. Small n: with few particles per rank the wire
+// codec is a large share of the step, which is exactly the overhead the
+// typed path removes.
+func transportAllPairs(reps int) transportResult {
+	const n, p, c, steps = 64, 4, 2, 60
+	pr := core.Params{
+		P:     p,
+		C:     c,
+		Law:   phys.DefaultLaw(),
+		Box:   phys.NewBox(10, 2, phys.Reflective),
+		DT:    1e-3,
+		Steps: steps,
+	}
+	ps := phys.InitUniform(n, pr.Box, 17)
+	typed := medianStepTime(steps, reps, func() {
+		if _, _, err := core.AllPairs(ps, pr); err != nil {
+			log.Fatal(err)
+		}
+	})
+	prEnc := pr
+	prEnc.Encoded = true
+	encoded := medianStepTime(steps, reps, func() {
+		if _, _, err := core.AllPairs(ps, prEnc); err != nil {
+			log.Fatal(err)
+		}
+	})
+	tr := transportResult{
+		Algorithm: "allpairs", Particles: n, Ranks: p, Replication: c, Steps: steps,
+		TypedNsPerStep: typed, EncodedNsPerStep: encoded, Speedup: encoded / typed,
+	}
+	fmt.Printf("%-28s typed %10.1f ns/step  encoded %10.1f ns/step  %.2fx\n",
+		"transport allpairs p=4 c=2", typed, encoded, tr.Speedup)
+	return tr
+}
+
+// transportCutoff is the same comparison for the distance-limited
+// algorithm (1D periodic, framed team exchange, per-step migration).
+func transportCutoff(reps int) transportResult {
+	const n, p, c, steps = 128, 8, 2, 60
+	box := phys.NewBox(16, 1, phys.Periodic)
+	pr := core.Params{
+		P:     p,
+		C:     c,
+		Law:   phys.DefaultLaw().WithCutoff(box.L / 4),
+		Box:   box,
+		DT:    5e-4,
+		Steps: steps,
+	}
+	ps := phys.InitLattice(n, box, 17)
+	typed := medianStepTime(steps, reps, func() {
+		if _, _, err := core.Cutoff(ps, pr); err != nil {
+			log.Fatal(err)
+		}
+	})
+	prEnc := pr
+	prEnc.Encoded = true
+	encoded := medianStepTime(steps, reps, func() {
+		if _, _, err := core.Cutoff(ps, prEnc); err != nil {
+			log.Fatal(err)
+		}
+	})
+	tr := transportResult{
+		Algorithm: "cutoff", Particles: n, Ranks: p, Replication: c, Steps: steps,
+		TypedNsPerStep: typed, EncodedNsPerStep: encoded, Speedup: encoded / typed,
+	}
+	fmt.Printf("%-28s typed %10.1f ns/step  encoded %10.1f ns/step  %.2fx\n",
+		"transport cutoff p=8 c=2", typed, encoded, tr.Speedup)
+	return tr
 }

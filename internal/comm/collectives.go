@@ -183,6 +183,11 @@ func (c *Comm) AllreduceF64s(vals []float64) []float64 {
 func (c *Comm) Gather(root int, data []byte) [][]byte {
 	c.checkPeer(root)
 	n := c.Size()
+	if n == 1 {
+		// Single-rank gather involves no peers: like the other
+		// collectives, it must not stamp a zero-peer collective event.
+		return [][]byte{data}
+	}
 	t0 := c.tr.Now()
 	defer func() { c.tr.Collective(obs.KindGather, t0, len(data)) }()
 	if c.rank != root {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/phys"
 	"repro/internal/trace"
 )
 
@@ -123,20 +124,29 @@ func (c *Comm) checkPeer(peer int) {
 // steady-state timestep run with zero allocations in its encode, decode,
 // and frame paths.
 func (c *Comm) Send(to, tag int, data []byte) {
+	c.sendMsg(to, tag, bytesMsg(data))
+}
+
+// sendMsg is the shared delivery path under Send and the typed sends:
+// it stamps the communicator id, delivers into the destination mailbox,
+// and charges m.wire bytes to the sender's active phase and the obs
+// instruments.
+func (c *Comm) sendMsg(to, tag int, m message) {
 	c.checkPeer(to)
 	if to == c.rank {
 		panic("comm: self-send (use local copies instead)")
 	}
 	box := c.rt.boxes[c.group[to]][c.group[c.rank]]
-	c.cm.countSend(len(data), len(box))
-	m := message{comm: c.id, tag: tag, data: data}
+	c.cm.countSend(m.wire, len(box))
+	m.comm = c.id
+	m.tag = tag
 	select {
 	case box <- m:
 	case <-c.rt.abort:
 		panic(errAborted{})
 	}
-	c.stats.CountMessage(len(data))
-	c.tr.Send(c.group[to], tag, len(data))
+	c.stats.CountMessage(m.wire)
+	c.tr.Send(c.group[to], tag, m.wire)
 }
 
 // Recv blocks until the next message from rank `from` of this
@@ -145,6 +155,12 @@ func (c *Comm) Send(to, tag int, data []byte) {
 // repository are deterministic, so a mismatch indicates a schedule bug
 // and panics rather than being silently reordered.
 func (c *Comm) Recv(from, tag int) []byte {
+	return c.recvMsg(from, tag).bytesPayload()
+}
+
+// recvMsg blocks for the next message from `from` under tag and returns
+// it, charging m.wire bytes to the receiver's active phase.
+func (c *Comm) recvMsg(from, tag int) message {
 	c.checkPeer(from)
 	if from == c.rank {
 		panic("comm: self-receive")
@@ -157,13 +173,46 @@ func (c *Comm) Recv(from, tag int) []byte {
 			panic(fmt.Sprintf("comm: rank %d expected (comm %x, tag %d) from %d, got (comm %x, tag %d)",
 				c.rank, c.id, tag, from, m.comm, m.tag))
 		}
-		c.stats.CountRecv(len(m.data))
-		c.tr.Recv(t0, c.group[from], tag, len(m.data))
-		c.cm.countRecv(len(m.data))
-		return m.data
+		c.stats.CountRecv(m.wire)
+		c.tr.Recv(t0, c.group[from], tag, m.wire)
+		c.cm.countRecv(m.wire)
+		return m
 	case <-c.rt.abort:
 		panic(errAborted{})
 	}
+}
+
+// Payload accessors: the algorithms in this repository are
+// deterministic, so a receive finding the wrong payload representation
+// indicates a schedule bug mixing the typed and encoded transports and
+// panics rather than silently converting.
+
+func (m message) bytesPayload() []byte {
+	if m.kind != payloadBytes {
+		panic(fmt.Sprintf("comm: expected a byte payload, got %v (tag %d)", m.kind, m.tag))
+	}
+	return m.data
+}
+
+func (m message) particlesPayload() []phys.Particle {
+	if m.kind != payloadParticles {
+		panic(fmt.Sprintf("comm: expected a particle payload, got %v (tag %d)", m.kind, m.tag))
+	}
+	return m.ps
+}
+
+func (m message) teamParticlesPayload() (int, []phys.Particle) {
+	if m.kind != payloadTeamParticles {
+		panic(fmt.Sprintf("comm: expected a framed particle payload, got %v (tag %d)", m.kind, m.tag))
+	}
+	return int(m.hdr), m.ps
+}
+
+func (m message) f64sPayload() []float64 {
+	if m.kind != payloadF64s {
+		panic(fmt.Sprintf("comm: expected a float64 payload, got %v (tag %d)", m.kind, m.tag))
+	}
+	return m.f64s
 }
 
 // Sendrecv sends data to rank `to` and receives a payload from rank

@@ -1,5 +1,7 @@
 package comm
 
+import "repro/internal/phys"
+
 // Nonblocking point-to-point operations, the substrate for overlapping
 // communication with computation in the shift loop (the optimization
 // production MD codes layer on top of the paper's algorithm; see
@@ -24,16 +26,36 @@ type Request struct {
 // so the caller can proceed to computation without deadlocking even
 // against a slow receiver.
 func (c *Comm) Isend(to, tag int, data []byte) *Request {
+	return c.isendMsg(to, tag, bytesMsg(data))
+}
+
+// IsendParticles is Isend for a typed particle payload: the slice moves
+// by reference (ownership transfers to the receiver) and the send is
+// charged the wire-format size phys.WireBytes(len(ps)).
+func (c *Comm) IsendParticles(to, tag int, ps []phys.Particle) *Request {
+	return c.isendMsg(to, tag, particlesMsg(ps))
+}
+
+// IsendTeamParticles is IsendParticles with a source-team frame, charged
+// the framed wire size (4 + phys.WireBytes(len(ps))).
+func (c *Comm) IsendTeamParticles(to, tag, team int, ps []phys.Particle) *Request {
+	return c.isendMsg(to, tag, teamParticlesMsg(team, ps))
+}
+
+// isendMsg is the shared nonblocking delivery path under Isend and the
+// typed variants.
+func (c *Comm) isendMsg(to, tag int, m message) *Request {
 	c.checkPeer(to)
 	if to == c.rank {
 		panic("comm: self-send (use local copies instead)")
 	}
 	src, dst := c.group[c.rank], c.group[to]
 	box := c.rt.boxes[dst][src]
-	m := message{comm: c.id, tag: tag, data: data}
-	c.stats.CountMessage(len(data))
-	c.tr.Send(dst, tag, len(data))
-	c.cm.countSend(len(data), len(box))
+	m.comm = c.id
+	m.tag = tag
+	c.stats.CountMessage(m.wire)
+	c.tr.Send(dst, tag, m.wire)
+	c.cm.countSend(m.wire, len(box))
 
 	// An earlier overflow send to the same destination that is still in
 	// flight forbids the fast path: delivering inline would reorder the
@@ -75,7 +97,9 @@ func (c *Comm) Isend(to, tag int, data []byte) *Request {
 
 // Irecv registers interest in the next message from rank `from` under
 // tag. No data moves until Wait; the incoming message parks in the
-// mailbox buffer meanwhile.
+// mailbox buffer meanwhile. The same Request collects either transport:
+// use Wait for encoded payloads, WaitParticles/WaitTeamParticles for
+// typed ones.
 func (c *Comm) Irecv(from, tag int) *Request {
 	c.checkPeer(from)
 	if from == c.rank {
@@ -89,8 +113,31 @@ func (c *Comm) Irecv(from, tag int) *Request {
 // destination mailbox and returns nil.
 func (r *Request) Wait() []byte {
 	if r.isRecv {
-		return r.comm.Recv(r.from, r.tag)
+		return r.comm.recvMsg(r.from, r.tag).bytesPayload()
 	}
+	r.waitSent()
+	return nil
+}
+
+// WaitParticles completes a typed particle receive: it blocks for the
+// message and returns the payload slice, owned by the caller outright.
+func (r *Request) WaitParticles() []phys.Particle {
+	if !r.isRecv {
+		panic("comm: WaitParticles on a send request")
+	}
+	return r.comm.recvMsg(r.from, r.tag).particlesPayload()
+}
+
+// WaitTeamParticles completes a framed typed particle receive, returning
+// the source-team frame alongside the payload.
+func (r *Request) WaitTeamParticles() (int, []phys.Particle) {
+	if !r.isRecv {
+		panic("comm: WaitTeamParticles on a send request")
+	}
+	return r.comm.recvMsg(r.from, r.tag).teamParticlesPayload()
+}
+
+func (r *Request) waitSent() {
 	if r.sent != nil {
 		select {
 		case <-r.sent:
@@ -98,7 +145,6 @@ func (r *Request) Wait() []byte {
 			panic(errAborted{})
 		}
 	}
-	return nil
 }
 
 // SendrecvOverlap performs the shift exchange of Sendrecv but runs
@@ -114,5 +160,22 @@ func (c *Comm) SendrecvOverlap(to int, data []byte, from, tag int, overlap func(
 	overlap()
 	out := recv.Wait()
 	send.Wait()
+	return out
+}
+
+// SendrecvParticlesOverlap is SendrecvOverlap over the typed transport.
+// The outgoing slice may still be read by overlap() while in flight
+// (receivers only read it too); see the ownership contract on
+// SendParticles for when the buffer may be written again.
+func (c *Comm) SendrecvParticlesOverlap(to int, ps []phys.Particle, from, tag int, overlap func()) []phys.Particle {
+	if to == c.rank && from == c.rank {
+		overlap()
+		return ps
+	}
+	send := c.IsendParticles(to, tag, ps)
+	recv := c.Irecv(from, tag)
+	overlap()
+	out := recv.WaitParticles()
+	send.waitSent()
 	return out
 }

@@ -2,6 +2,27 @@ package comm
 
 import "fmt"
 
+// F64Scratch holds one rank's retained buffers for the scratch-reusing
+// reduction paths (ReduceScatterF64sInto, AllreduceF64sInto,
+// AllreduceRabenseifnerInto). The zero value is ready to use; after the
+// buffers grow to the vector size on the first call, every subsequent
+// call on vectors of the same length allocates nothing.
+//
+// Ownership: buffers handed to peers are never written by this rank
+// again until a full collective has ordered every reader behind the
+// reuse — the ring paths recycle transferable block buffers (each hop
+// adopts the buffer it receives and relinquishes the one it sends), and
+// the accumulator aliased by peers in AllreduceF64sInto is
+// double-buffered, with the intervening allreduce as the
+// synchronization point. A scratch belongs to one rank; do not share it.
+type F64Scratch struct {
+	acc  [2][]float64 // double-buffered accumulator (aliased by peers across one call)
+	flip int
+	blk  []float64 // transferable ring-block buffer, recycled via receives
+	out  []float64 // caller-visible result buffer
+	full []float64 // allgather assembly buffer (AllreduceRabenseifnerInto)
+}
+
 // ReduceScatterF64s element-wise sums vals across all ranks and leaves
 // rank i with block i of the result, where the blocks partition the
 // vector as evenly as possible (returned block boundaries follow
@@ -9,22 +30,46 @@ import "fmt"
 // moving one block while accumulating — the bandwidth-optimal first half
 // of Rabenseifner's allreduce.
 func (c *Comm) ReduceScatterF64s(vals []float64) []float64 {
+	var sc F64Scratch
+	return c.ReduceScatterF64sInto(vals, &sc)
+}
+
+// ReduceScatterF64sInto is ReduceScatterF64s accumulating in the given
+// scratch: the steady state moves typed float64 blocks through the ring
+// with zero allocations and zero serialization, while charging the same
+// per-hop byte counts (8 bytes per element, same tags) and performing
+// the same combination order as the encoded path, so results are
+// bit-identical. The returned slice is sc.out, valid until the next call
+// on the same scratch.
+func (c *Comm) ReduceScatterF64sInto(vals []float64, sc *F64Scratch) []float64 {
 	n := c.Size()
 	if n == 1 {
-		return append([]float64(nil), vals...)
+		sc.out = append(sc.out[:0], vals...)
+		return sc.out
 	}
-	acc := append([]float64(nil), vals...)
+	acc := append(sc.acc[sc.flip][:0], vals...)
+	sc.acc[sc.flip] = acc
+	sc.flip = 1 - sc.flip
+	// The block buffer must fit the largest block so recycled buffers
+	// (which all originate as some rank's pre-grown blk) never regrow.
+	maxBlk := (len(vals) + n - 1) / n
+	blk := sc.blk
+	if cap(blk) < maxBlk {
+		blk = make([]float64, 0, maxBlk)
+	}
 	next := (c.rank + 1) % n
 	prev := (c.rank - 1 + n) % n
 	// Ring schedule: at step s rank r sends block (r−1−s) and
 	// receives+accumulates block (r−2−s); after n−1 steps rank r holds
-	// the fully reduced block r.
+	// the fully reduced block r. Each hop copies the outgoing block into
+	// the transferable buffer, ships it, and adopts the arriving buffer
+	// as the next hop's — so no buffer is ever written by two ranks.
 	for s := 0; s < n-1; s++ {
 		sendBlk := mod(c.rank-1-s, n)
 		recvBlk := mod(c.rank-2-s, n)
 		lo, hi := BlockRange(len(vals), n, sendBlk)
-		payload := F64sToBytes(acc[lo:hi])
-		got := BytesToF64s(c.Sendrecv(next, payload, prev, tagReduceScatter+s))
+		blk = append(blk[:0], acc[lo:hi]...)
+		got := c.SendrecvF64s(next, blk, prev, tagReduceScatter+s)
 		rlo, rhi := BlockRange(len(vals), n, recvBlk)
 		if len(got) != rhi-rlo {
 			panic(fmt.Sprintf("comm: reduce-scatter block of %d values, want %d", len(got), rhi-rlo))
@@ -32,11 +77,12 @@ func (c *Comm) ReduceScatterF64s(vals []float64) []float64 {
 		for i := range got {
 			acc[rlo+i] += got[i]
 		}
+		blk = got
 	}
+	sc.blk = blk
 	lo, hi := BlockRange(len(vals), n, c.rank)
-	out := make([]float64, hi-lo)
-	copy(out, acc[lo:hi])
-	return out
+	sc.out = append(sc.out[:0], acc[lo:hi]...)
+	return sc.out
 }
 
 // AllreduceRabenseifner sums vals across all ranks and returns the full
@@ -45,31 +91,65 @@ func (c *Comm) ReduceScatterF64s(vals []float64) []float64 {
 // bandwidth-optimal algorithm for long vectors, versus the 2·log n
 // vector transits of the tree-based AllreduceF64s.
 func (c *Comm) AllreduceRabenseifner(vals []float64) []float64 {
+	var sc F64Scratch
+	return c.AllreduceRabenseifnerInto(vals, &sc)
+}
+
+// AllreduceRabenseifnerInto is AllreduceRabenseifner on a retained
+// scratch: allocation-free in the steady state, bit-identical to the
+// encoded path. The returned slice is scratch-owned and valid until the
+// next call.
+func (c *Comm) AllreduceRabenseifnerInto(vals []float64, sc *F64Scratch) []float64 {
 	n := c.Size()
-	mine := c.ReduceScatterF64s(vals)
+	mine := c.ReduceScatterF64sInto(vals, sc)
 	if n == 1 {
 		return mine
 	}
-	out := make([]float64, len(vals))
+	full := sc.full
+	if cap(full) < len(vals) {
+		full = make([]float64, len(vals))
+	}
+	full = full[:len(vals)]
 	lo, hi := BlockRange(len(vals), n, c.rank)
-	copy(out[lo:hi], mine)
-	// Ring allgather of the reduced blocks.
+	copy(full[lo:hi], mine)
+	// Ring allgather of the reduced blocks, recycling the block buffer
+	// left by the reduce-scatter phase.
 	next := (c.rank + 1) % n
 	prev := (c.rank - 1 + n) % n
 	blk := c.rank
-	payload := F64sToBytes(mine)
+	payload := append(sc.blk[:0], mine...)
 	for s := 0; s < n-1; s++ {
-		got := c.Sendrecv(next, payload, prev, tagAllgatherRS+s)
+		got := c.SendrecvF64s(next, payload, prev, tagAllgatherRS+s)
 		blk = mod(blk-1, n)
 		glo, ghi := BlockRange(len(vals), n, blk)
-		vals2 := BytesToF64s(got)
-		if len(vals2) != ghi-glo {
-			panic(fmt.Sprintf("comm: allgather block of %d values, want %d", len(vals2), ghi-glo))
+		if len(got) != ghi-glo {
+			panic(fmt.Sprintf("comm: allgather block of %d values, want %d", len(got), ghi-glo))
 		}
-		copy(out[glo:ghi], vals2)
+		copy(full[glo:ghi], got)
 		payload = got
 	}
-	return out
+	sc.blk = payload
+	sc.full = full
+	return full
+}
+
+// AllreduceF64sInto is AllreduceF64s (tree/flat/ring reduce to rank 0,
+// then broadcast) on a retained scratch: the reduction accumulates in
+// place over typed payloads and the broadcast is taken by alias and
+// copied into the scratch, so the steady state allocates nothing. The
+// combination order matches AllreduceF64s, so results are bit-identical.
+// The returned slice is scratch-owned and valid until the next call.
+func (c *Comm) AllreduceF64sInto(vals []float64, sc *F64Scratch) []float64 {
+	if c.Size() == 1 {
+		sc.out = append(sc.out[:0], vals...)
+		return sc.out
+	}
+	acc := append(sc.acc[sc.flip][:0], vals...)
+	sc.acc[sc.flip] = acc
+	sc.flip = 1 - sc.flip
+	red := c.ReduceF64sInPlace(0, acc)
+	sc.out = c.BcastF64s(0, red, sc.out)
+	return sc.out
 }
 
 // BlockRange returns the half-open range [lo, hi) of block blk when a

@@ -18,16 +18,78 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/phys"
 	"repro/internal/trace"
 )
 
+// payloadKind tags the representation a message's payload travels in.
+// Byte payloads are the encoded wire format; the typed kinds move Go
+// slices by reference (zero copy) and are accounted at the byte size the
+// wire format would have had, so both transports measure identical S/W.
+type payloadKind uint8
+
+const (
+	payloadBytes payloadKind = iota
+	payloadParticles
+	payloadTeamParticles // particles prefixed with a 4-byte source-team frame
+	payloadF64s
+)
+
+func (k payloadKind) String() string {
+	switch k {
+	case payloadBytes:
+		return "bytes"
+	case payloadParticles:
+		return "particles"
+	case payloadTeamParticles:
+		return "team-particles"
+	case payloadF64s:
+		return "f64s"
+	default:
+		return fmt.Sprintf("payloadKind(%d)", int(k))
+	}
+}
+
 // message is what travels between ranks. The comm id separates traffic of
-// different communicators that share the underlying mailboxes.
+// different communicators that share the underlying mailboxes. Exactly
+// one payload representation is populated, named by kind; wire is the
+// byte size charged to the trace phase and obs instruments — for byte
+// payloads len(data), for typed payloads the size the encoded wire
+// format would occupy.
 type message struct {
 	comm uint64
 	tag  int
+	kind payloadKind
+	wire int
 	data []byte
+	ps   []phys.Particle
+	f64s []float64
+	hdr  uint32 // source-team frame of payloadTeamParticles
 }
+
+// Payload constructors: each fixes the kind/wire pairing so accounting
+// cannot drift from the payload representation.
+
+func bytesMsg(data []byte) message {
+	return message{kind: payloadBytes, wire: len(data), data: data}
+}
+
+func particlesMsg(ps []phys.Particle) message {
+	return message{kind: payloadParticles, wire: phys.WireBytes(len(ps)), ps: ps}
+}
+
+func teamParticlesMsg(team int, ps []phys.Particle) message {
+	return message{kind: payloadTeamParticles, wire: frameBytes + phys.WireBytes(len(ps)), ps: ps, hdr: uint32(team)}
+}
+
+func f64sMsg(vals []float64) message {
+	return message{kind: payloadF64s, wire: 8 * len(vals), f64s: vals}
+}
+
+// frameBytes is the wire size of the source-team frame a
+// payloadTeamParticles message carries (mirrors appendFrameTeam's header
+// in internal/core).
+const frameBytes = 4
 
 // mailboxCap is the per-(src,dst) channel buffer. The algorithms in this
 // repository keep at most a few outstanding messages per pair; the abort

@@ -1,0 +1,51 @@
+//go:build !obsdebug
+
+// The zero-allocation claim is a release-build property: obsdebug
+// builds deliberately allocate in the Stats ownership guard, so this
+// test only runs without the tag.
+
+package comm
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestScratchReductionsSteadyStateAllocFree pins the zero-allocation
+// claim for the scratch reduction paths end to end: once the per-rank
+// scratch has grown, additional reduction rounds must not allocate —
+// measured as the global malloc delta between two otherwise identical
+// runs that differ only in round count.
+func TestScratchReductionsSteadyStateAllocFree(t *testing.T) {
+	const p, length = 4, 64
+	run := func(rounds int) {
+		_, err := Run(p, Options{}, func(c *Comm) error {
+			var sc1, sc2 F64Scratch
+			vals := make([]float64, length)
+			for i := range vals {
+				vals[i] = float64(c.Rank() + i)
+			}
+			for round := 0; round < rounds; round++ {
+				c.ReduceScatterF64sInto(vals, &sc1)
+				c.AllreduceRabenseifnerInto(vals, &sc2)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mallocs := func(rounds int) uint64 {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		run(rounds)
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	run(3) // warm any lazy runtime state
+	base := mallocs(3)
+	long := mallocs(23)
+	if long > base {
+		t.Errorf("20 extra reduction rounds allocated %d times, want 0 (base run %d, long run %d)", long-base, base, long)
+	}
+}

@@ -1,0 +1,213 @@
+package comm
+
+// Typed collectives: the zero-copy counterparts of Bcast and ReduceF64s
+// the timestep loops run on. They mirror the encoded implementations
+// stage for stage — same algorithm selection, same peer schedule, same
+// combination order — so the message counts, the per-hop byte charges,
+// and the floating-point results are identical to the encoded path bit
+// for bit; only the serialization work disappears.
+
+import (
+	"repro/internal/obs"
+	"repro/internal/phys"
+)
+
+// BcastParticles distributes root's particles to every rank of the
+// communicator and returns the caller's private replica, appended into
+// dst[:0] (pass a retained scratch to make the steady state
+// allocation-free). Non-root ranks pass ps nil.
+//
+// Internally the payload travels by reference: every rank of the
+// communicator aliases root's slice until it has copied into its own
+// replica. Root may therefore not write ps again until a
+// synchronization point transitively orders every member behind the
+// reuse — the timestep loops use the team force reduction, which every
+// member enters only after taking its copy.
+func (c *Comm) BcastParticles(root int, ps, dst []phys.Particle) []phys.Particle {
+	c.checkPeer(root)
+	if c.Size() == 1 {
+		return append(dst[:0], ps...)
+	}
+	t0 := c.tr.Now()
+	alias := c.bcastParticles(root, ps)
+	out := append(dst[:0], alias...)
+	c.tr.Collective(obs.KindBcast, t0, phys.WireBytes(len(alias)))
+	return out
+}
+
+// bcastParticles moves the payload alias along the same peer schedule as
+// the encoded bcast and returns the alias the caller holds.
+func (c *Comm) bcastParticles(root int, ps []phys.Particle) []phys.Particle {
+	n := c.Size()
+	switch c.opts.Collectives {
+	case Flat:
+		if c.rank == root {
+			for r := 0; r < n; r++ {
+				if r != root {
+					c.SendParticles(r, tagBcast, ps)
+				}
+			}
+			return ps
+		}
+		return c.RecvParticles(root, tagBcast)
+	case Ring:
+		prev := (c.rank - 1 + n) % n
+		next := (c.rank + 1) % n
+		if c.rank != root {
+			ps = c.RecvParticles(prev, tagBcast)
+		}
+		if next != root {
+			c.SendParticles(next, tagBcast, ps)
+		}
+		return ps
+	default:
+		// Binomial tree, mirroring fanOut.
+		vr := (c.rank - root + n) % n
+		mask := 1
+		for mask < n {
+			if vr&mask != 0 {
+				src := (vr - mask + root) % n
+				ps = c.RecvParticles(src, tagBcast)
+				break
+			}
+			mask <<= 1
+		}
+		mask >>= 1
+		for mask > 0 {
+			if vr+mask < n {
+				dst := (vr + mask + root) % n
+				c.SendParticles(dst, tagBcast, ps)
+			}
+			mask >>= 1
+		}
+		return ps
+	}
+}
+
+// BcastF64s is BcastParticles for float64 vectors: root's vals reach
+// every rank, copied into dst[:0]. Root's slice is aliased by all
+// members until they have copied, under the same reuse contract.
+func (c *Comm) BcastF64s(root int, vals, dst []float64) []float64 {
+	c.checkPeer(root)
+	if c.Size() == 1 {
+		return append(dst[:0], vals...)
+	}
+	t0 := c.tr.Now()
+	alias := c.bcastF64s(root, vals)
+	out := append(dst[:0], alias...)
+	c.tr.Collective(obs.KindBcast, t0, 8*len(alias))
+	return out
+}
+
+func (c *Comm) bcastF64s(root int, vals []float64) []float64 {
+	n := c.Size()
+	switch c.opts.Collectives {
+	case Flat:
+		if c.rank == root {
+			for r := 0; r < n; r++ {
+				if r != root {
+					c.SendF64s(r, tagBcast, vals)
+				}
+			}
+			return vals
+		}
+		return c.RecvF64s(root, tagBcast)
+	case Ring:
+		prev := (c.rank - 1 + n) % n
+		next := (c.rank + 1) % n
+		if c.rank != root {
+			vals = c.RecvF64s(prev, tagBcast)
+		}
+		if next != root {
+			c.SendF64s(next, tagBcast, vals)
+		}
+		return vals
+	default:
+		vr := (c.rank - root + n) % n
+		mask := 1
+		for mask < n {
+			if vr&mask != 0 {
+				src := (vr - mask + root) % n
+				vals = c.RecvF64s(src, tagBcast)
+				break
+			}
+			mask <<= 1
+		}
+		mask >>= 1
+		for mask > 0 {
+			if vr+mask < n {
+				dst := (vr + mask + root) % n
+				c.SendF64s(dst, tagBcast, vals)
+			}
+			mask >>= 1
+		}
+		return vals
+	}
+}
+
+// ReduceF64sInPlace element-wise sums vals across all ranks with the
+// same algorithm, peer schedule, and combination order as ReduceF64s —
+// so the result is bit-identical — but accumulates into the callers'
+// slices instead of serializing: non-root ranks hand their slice to the
+// parent (ownership transfers; see the typed-transport contract for
+// when it may be written again — the timestep loops rely on the next
+// step's broadcast) and return nil, and root returns vals itself holding
+// the total. The steady state allocates nothing.
+func (c *Comm) ReduceF64sInPlace(root int, vals []float64) []float64 {
+	c.checkPeer(root)
+	if c.Size() == 1 {
+		return vals
+	}
+	t0 := c.tr.Now()
+	out := c.reduceF64sInPlace(root, vals)
+	c.tr.Collective(obs.KindReduce, t0, 8*len(vals))
+	return out
+}
+
+func (c *Comm) reduceF64sInPlace(root int, vals []float64) []float64 {
+	n := c.Size()
+	switch c.opts.Collectives {
+	case Flat:
+		if c.rank != root {
+			c.SendF64s(root, tagReduce, vals)
+			return nil
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			addF64s(vals, c.RecvF64s(r, tagReduce))
+		}
+		return vals
+	case Ring:
+		next := (c.rank + 1) % n
+		prev := (c.rank - 1 + n) % n
+		start := (root + 1) % n
+		if c.rank != start {
+			addF64s(vals, c.RecvF64s(prev, tagReduce))
+		}
+		if c.rank != root {
+			c.SendF64s(next, tagReduce, vals)
+			return nil
+		}
+		return vals
+	default:
+		// Binomial tree, mirroring fanInCombine.
+		vr := (c.rank - root + n) % n
+		mask := 1
+		for mask < n {
+			if vr&mask == 0 {
+				if vr+mask < n {
+					src := (vr + mask + root) % n
+					addF64s(vals, c.RecvF64s(src, tagReduce))
+				}
+			} else {
+				dst := (vr - mask + root) % n
+				c.SendF64s(dst, tagReduce, vals)
+				return nil
+			}
+			mask <<= 1
+		}
+		return vals
+	}
+}

@@ -1,0 +1,301 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/phys"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+func testParticles(n int, seed int64) []phys.Particle {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]phys.Particle, n)
+	for i := range out {
+		out[i] = phys.Particle{
+			ID:    uint32(i),
+			Pos:   vec.Vec2{X: rng.Float64(), Y: rng.Float64()},
+			Vel:   vec.Vec2{X: rng.NormFloat64(), Y: rng.NormFloat64()},
+			Force: vec.Vec2{X: rng.NormFloat64(), Y: rng.NormFloat64()},
+		}
+	}
+	return out
+}
+
+// TestTypedP2PMatchesEncodedWire checks the heart of the accounting
+// contract: a typed particle, framed-particle, or float64 send is
+// charged exactly the bytes its encoded wire format would occupy, and
+// the payload arrives bit-identical without a codec round-trip.
+func TestTypedP2PMatchesEncodedWire(t *testing.T) {
+	const n = 13
+	ps := testParticles(n, 1)
+	vals := []float64{1.5, -2.25, 3.125}
+	rep, err := Run(2, Options{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendParticles(1, 1, ps)
+			c.SendTeamParticles(1, 2, 7, ps)
+			c.SendF64s(1, 3, vals)
+			return nil
+		}
+		got := c.RecvParticles(0, 1)
+		for i := range got {
+			if got[i] != ps[i] {
+				return fmt.Errorf("particle %d changed in transit: %+v vs %+v", i, got[i], ps[i])
+			}
+		}
+		team, framed := c.RecvTeamParticles(0, 2)
+		if team != 7 || len(framed) != n {
+			return fmt.Errorf("framed payload: team %d len %d", team, len(framed))
+		}
+		f := c.RecvF64s(0, 3)
+		for i := range f {
+			if f[i] != vals[i] {
+				return fmt.Errorf("f64 %d: %v != %v", i, f[i], vals[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(phys.WireBytes(n) + 4 + phys.WireBytes(n) + 8*len(vals))
+	var sent, sentB int64
+	for _, ph := range trace.Phases() {
+		sent += rep.Sum[ph].Messages
+		sentB += rep.Sum[ph].Bytes
+	}
+	if sent != 3 {
+		t.Errorf("typed sends counted %d messages, want 3", sent)
+	}
+	if sentB != wantBytes {
+		t.Errorf("typed sends charged %d bytes, want %d (the encoded wire size)", sentB, wantBytes)
+	}
+}
+
+// TestTypedCollectivesMatchEncoded runs the typed broadcast and
+// reduction against their encoded counterparts for every collective
+// algorithm, every root, and several sizes: results must be
+// bit-identical and the message/byte accounting must agree exactly.
+func TestTypedCollectivesMatchEncoded(t *testing.T) {
+	algs := []CollectiveAlg{Tree, Flat, Ring}
+	for _, alg := range algs {
+		for size := 1; size <= 5; size++ {
+			for root := 0; root < size; root++ {
+				alg, size, root := alg, size, root
+				t.Run(fmt.Sprintf("alg=%v/size=%d/root=%d", alg, size, root), func(t *testing.T) {
+					t.Parallel()
+					ps := testParticles(9, int64(size*10+root))
+					vals := make([]float64, 17)
+					for i := range vals {
+						vals[i] = float64(i) * 1.25
+					}
+
+					type out struct {
+						ps  []phys.Particle
+						red []float64
+					}
+					results := make([]out, size)
+					encRep, err := Run(size, Options{Collectives: alg}, func(c *Comm) error {
+						var payload []byte
+						if c.Rank() == root {
+							payload = phys.AppendSlice(nil, ps)
+						}
+						got, err := phys.DecodeSlice(c.Bcast(root, payload))
+						if err != nil {
+							return err
+						}
+						mine := make([]float64, len(vals))
+						for i := range mine {
+							mine[i] = vals[i] * float64(c.Rank()+1)
+						}
+						results[c.Rank()] = out{ps: got, red: c.ReduceF64s(root, mine)}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					typedResults := make([]out, size)
+					typRep, err := Run(size, Options{Collectives: alg}, func(c *Comm) error {
+						var lead []phys.Particle
+						if c.Rank() == root {
+							lead = ps
+						}
+						got := c.BcastParticles(root, lead, nil)
+						mine := make([]float64, len(vals))
+						for i := range mine {
+							mine[i] = vals[i] * float64(c.Rank()+1)
+						}
+						typedResults[c.Rank()] = out{ps: got, red: c.ReduceF64sInPlace(root, mine)}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					for r := 0; r < size; r++ {
+						if len(typedResults[r].ps) != len(results[r].ps) {
+							t.Fatalf("rank %d: bcast %d particles, encoded %d", r, len(typedResults[r].ps), len(results[r].ps))
+						}
+						for i := range results[r].ps {
+							if typedResults[r].ps[i] != results[r].ps[i] {
+								t.Fatalf("rank %d particle %d differs from encoded", r, i)
+							}
+						}
+						if (typedResults[r].red == nil) != (results[r].red == nil) {
+							t.Fatalf("rank %d: reduce nil-ness differs", r)
+						}
+						for i := range results[r].red {
+							if typedResults[r].red[i] != results[r].red[i] {
+								t.Fatalf("rank %d reduce[%d]: typed %v, encoded %v (must be bit-identical)", r, i, typedResults[r].red[i], results[r].red[i])
+							}
+						}
+					}
+					for _, ph := range trace.Phases() {
+						e, ty := encRep.Sum[ph], typRep.Sum[ph]
+						if e.Messages != ty.Messages || e.Bytes != ty.Bytes ||
+							e.RecvMessages != ty.RecvMessages || e.RecvBytes != ty.RecvBytes {
+							t.Fatalf("phase %v accounting differs: encoded %+v, typed %+v", ph, e, ty)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSendrecvSelfShortCircuits pins the degenerate single-rank ring
+// exchange for both transports: the payload comes back untouched (same
+// backing array for typed sends) and neither the mailboxes nor the
+// accounting are involved.
+func TestSendrecvSelfShortCircuits(t *testing.T) {
+	_, err := Run(1, Options{}, func(c *Comm) error {
+		data := []byte{1, 2, 3}
+		if got := c.Sendrecv(0, data, 0, 5); &got[0] != &data[0] {
+			return fmt.Errorf("encoded self-sendrecv copied the payload")
+		}
+		ps := testParticles(4, 2)
+		if got := c.SendrecvParticles(0, ps, 0, 6); &got[0] != &ps[0] {
+			return fmt.Errorf("typed self-sendrecv copied the payload")
+		}
+		team, fps := c.SendrecvTeamParticles(0, 3, ps, 0, 7)
+		if team != 3 || &fps[0] != &ps[0] {
+			return fmt.Errorf("framed self-sendrecv altered the payload (team %d)", team)
+		}
+		vals := []float64{1, 2}
+		if got := c.SendrecvF64s(0, vals, 0, 8); &got[0] != &vals[0] {
+			return fmt.Errorf("f64 self-sendrecv copied the payload")
+		}
+		if n := c.Stats().TotalMessages(); n != 0 {
+			return fmt.Errorf("self exchanges counted %d messages, want 0", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleRankCollectivesStampNoEvents checks that collectives on a
+// single-rank communicator — which involve no peers — do not stamp
+// zero-peer collective events into an observed timeline.
+func TestSingleRankCollectivesStampNoEvents(t *testing.T) {
+	o := obs.NewObserver(1, 256)
+	_, err := Run(1, Options{Observe: o}, func(c *Comm) error {
+		c.Bcast(0, []byte{1})
+		c.ReduceF64s(0, []float64{1})
+		c.Gather(0, []byte{2})
+		c.BcastParticles(0, testParticles(2, 3), nil)
+		c.BcastF64s(0, []float64{4}, nil)
+		c.ReduceF64sInPlace(0, []float64{5})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range o.Timeline.Events(0) {
+		switch ev.Kind {
+		case obs.KindBcast, obs.KindReduce, obs.KindGather, obs.KindAllgather:
+			t.Errorf("single-rank run stamped a %v event", ev.Kind)
+		}
+	}
+}
+
+// TestMixedTransportPanics checks the substrate fails loudly when a
+// typed receive meets an encoded payload: the schedules are
+// deterministic, so a transport mismatch is a bug, not a case to paper
+// over.
+func TestMixedTransportPanics(t *testing.T) {
+	_, err := Run(2, Options{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte{1, 2, 3})
+			return nil
+		}
+		c.RecvParticles(0, 1)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "payload") {
+		t.Fatalf("err = %v, want payload-kind panic", err)
+	}
+}
+
+// TestScratchReductionsMatchLegacy checks the scratch-reusing reduction
+// paths against their allocating counterparts: bit-identical results on
+// every rank across repeated calls.
+func TestScratchReductionsMatchLegacy(t *testing.T) {
+	const p, length, rounds = 5, 23, 4
+	legacy := make([][][]float64, 3)
+	scratch := make([][][]float64, 3)
+	for i := range legacy {
+		legacy[i] = make([][]float64, p)
+		scratch[i] = make([][]float64, p)
+	}
+	mkVals := func(rank, round int) []float64 {
+		vals := make([]float64, length)
+		for i := range vals {
+			vals[i] = float64(rank+1)*0.5 + float64(i)*float64(round+1)*0.25
+		}
+		return vals
+	}
+	_, err := Run(p, Options{}, func(c *Comm) error {
+		for round := 0; round < rounds; round++ {
+			legacy[0][c.Rank()] = c.ReduceScatterF64s(mkVals(c.Rank(), round))
+			legacy[1][c.Rank()] = c.AllreduceRabenseifner(mkVals(c.Rank(), round))
+			legacy[2][c.Rank()] = c.AllreduceF64s(mkVals(c.Rank(), round))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(p, Options{}, func(c *Comm) error {
+		var sc1, sc2, sc3 F64Scratch
+		for round := 0; round < rounds; round++ {
+			scratch[0][c.Rank()] = append([]float64(nil), c.ReduceScatterF64sInto(mkVals(c.Rank(), round), &sc1)...)
+			scratch[1][c.Rank()] = append([]float64(nil), c.AllreduceRabenseifnerInto(mkVals(c.Rank(), round), &sc2)...)
+			scratch[2][c.Rank()] = append([]float64(nil), c.AllreduceF64sInto(mkVals(c.Rank(), round), &sc3)...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"reduce-scatter", "allreduce-rabenseifner", "allreduce"}
+	for op := range names {
+		for r := 0; r < p; r++ {
+			if len(legacy[op][r]) != len(scratch[op][r]) {
+				t.Fatalf("%s rank %d: scratch length %d, legacy %d", names[op], r, len(scratch[op][r]), len(legacy[op][r]))
+			}
+			for i := range legacy[op][r] {
+				if legacy[op][r][i] != scratch[op][r][i] {
+					t.Fatalf("%s rank %d[%d]: scratch %v, legacy %v (must be bit-identical)", names[op], r, i, scratch[op][r][i], legacy[op][r][i])
+				}
+			}
+		}
+	}
+}
+

@@ -76,25 +76,14 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 
 		// Per-rank fast-path state, built once: the law is compiled to a
 		// specialized kernel (kind/cutoff/softening resolved outside the
-		// pair loop), and the encode/decode/frame paths reuse the same
-		// backing arrays every step, so the steady-state timestep
-		// allocates nothing there. Reuse is safe under the comm buffer
-		// contract: the exchange slice overwritten at (2) is the one this
-		// rank received in the previous step's last shift (its sender
-		// relinquished it on Send), and the leader's broadcast buffer is
-		// only rewritten after the team reduce — which every team member
-		// reaches only after decoding the broadcast — has completed.
+		// pair loop) and the transport retains its buffers across steps
+		// (double-buffering the exchange; see the reuse discipline in
+		// transport.go), so the steady-state timestep allocates nothing.
 		kern := pr.Law.Kernel()
-		var (
-			bcastBuf []byte          // leader's broadcast payload
-			exchange []byte          // shift-ring buffer owned between steps
-			team     []phys.Particle // decoded team replica
-			visiting []phys.Particle // decode scratch for shift updates
-			forces   []float64       // flattened reduction payload
-		)
-		update := func(buf []byte) error {
-			var err error
-			visiting, err = phys.DecodeSliceInto(visiting[:0], buf)
+		x := newXfer(pr.Encoded, -1, pr.Overlap)
+		var team []phys.Particle
+		update := func() error {
+			_, visiting, err := x.view()
 			if err != nil {
 				return err
 			}
@@ -112,21 +101,18 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 			}
 			// (1) Broadcast St from the team leader to team members.
 			st.SetPhase(trace.Broadcast)
-			var payload []byte
+			var lead []phys.Particle
 			if row == 0 {
-				bcastBuf = phys.AppendSlice(bcastBuf[:0], mine)
-				payload = bcastBuf
+				lead = mine
 			}
-			teamData := teamComm.Bcast(0, payload)
 			var err error
-			team, err = phys.DecodeSliceInto(team[:0], teamData)
+			team, err = x.bcastTeam(teamComm, lead)
 			if err != nil {
 				return err
 			}
-			phys.ClearForces(team)
 
 			// (2) Copy St to the exchange buffer.
-			exchange = phys.AppendSlice(exchange[:0], team)
+			x.loadExchange(team)
 
 			// (3) Skew: row k shifts its exchange buffer east by k.
 			st.SetPhase(trace.Skew)
@@ -134,7 +120,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 				to := rowComm.Rank() // == col
 				to = topo.Mod(to+row, T)
 				from := topo.Mod(col-row, T)
-				exchange = rowComm.Sendrecv(to, exchange, from, tagSkew)
+				x.shift(rowComm, to, from, tagSkew)
 			}
 
 			// (4) p/c² shift-and-update steps. In overlap mode each rank
@@ -148,20 +134,19 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 					to := topo.Mod(col+pr.C, T)
 					from := topo.Mod(col-pr.C, T)
 					if pr.Overlap {
-						cur := exchange
-						var updateErr error
-						exchange = rowComm.SendrecvOverlap(to, cur, from, tagShift+i, func() {
-							updateErr = update(cur)
+						err := x.shiftOverlap(rowComm, to, from, tagShift+i, func() error {
+							uerr := update()
 							st.SetPhase(trace.Shift)
+							return uerr
 						})
-						if updateErr != nil {
-							return updateErr
+						if err != nil {
+							return err
 						}
 						continue
 					}
-					exchange = rowComm.Sendrecv(to, exchange, from, tagShift+i)
+					x.shift(rowComm, to, from, tagShift+i)
 				}
-				if err := update(exchange); err != nil {
+				if err := update(); err != nil {
 					return err
 				}
 			}
@@ -169,8 +154,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 			// (5) Sum-reduce the partial force contributions within the
 			// team; the leader integrates.
 			st.SetPhase(trace.Reduce)
-			forces = flattenForcesInto(forces[:0], team)
-			total := teamComm.ReduceF64s(0, forces)
+			total := x.reduceForces(teamComm, team)
 			if row == 0 {
 				applyForces(mine, total)
 				st.SetPhase(trace.Compute)

@@ -38,6 +38,12 @@ type Params struct {
 	// is synchronous; this is the optimization production MD codes add
 	// on top.
 	Overlap bool
+	// Encoded selects the serialize-and-ship transport for the timestep
+	// loops instead of the default zero-copy typed transport. The two
+	// are bit-identical in results and in measured communication
+	// quantities (the transport property tests assert it); the encoded
+	// path remains as the verification fallback and benchmark baseline.
+	Encoded bool
 }
 
 // Teams returns the number of teams p/c.

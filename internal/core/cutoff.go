@@ -106,29 +106,21 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		pairEvals := mx.Counter("compute.pairs")
 		observed := mx != nil
 
-		// Per-rank fast-path state, built once per run (see AllPairs for
-		// the reuse-safety argument): specialized kernel, plus retained
-		// buffers for the broadcast payload, the framed exchange slice,
-		// and the decode/flatten scratch. Migration buffers are NOT
+		// Per-rank fast-path state, built once per run: specialized
+		// kernel plus the transport's retained buffers (see transport.go
+		// for the exchange reuse discipline). Migration buffers are NOT
 		// reused — their sizes are data-dependent and their payloads are
 		// retained by the receiving leader.
 		kern := pr.Law.Kernel()
-		var (
-			bcastBuf []byte          // leader's broadcast payload
-			exchange []byte          // framed shift buffer owned between steps
-			teamCopy []phys.Particle // decoded team replica
-			visiting []phys.Particle // decode scratch for shift updates
-			forces   []float64       // flattened reduction payload
-		)
-		update := func(buf []byte) error {
-			srcTeam, body := unframeTeam(buf)
-			if !withinWindow(tg, team, srcTeam, m, wrap) {
-				return nil // aliased buffer from beyond a reflective edge
-			}
-			var err error
-			visiting, err = phys.DecodeSliceInto(visiting[:0], body)
+		x := newXfer(pr.Encoded, team, pr.Overlap)
+		var teamCopy []phys.Particle
+		update := func() error {
+			srcTeam, visiting, err := x.view()
 			if err != nil {
 				return err
+			}
+			if !withinWindow(tg, team, srcTeam, m, wrap) {
+				return nil // aliased buffer from beyond a reflective edge
 			}
 			st.SetPhase(trace.Compute)
 			pairEvals.Add(kern.AccumulateIn(teamCopy, visiting, pr.Box))
@@ -153,25 +145,20 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 			}
 			// (1) Broadcast St within the team.
 			st.SetPhase(trace.Broadcast)
-			var payload []byte
+			var lead []phys.Particle
 			if layer == 0 {
-				bcastBuf = phys.AppendSlice(bcastBuf[:0], mine)
-				payload = bcastBuf
+				lead = mine
 			}
-			teamData := teamComm.Bcast(0, payload)
 			var err error
-			teamCopy, err = phys.DecodeSliceInto(teamCopy[:0], teamData)
+			teamCopy, err = x.bcastTeam(teamComm, lead)
 			if err != nil {
 				return err
 			}
-			phys.ClearForces(teamCopy)
 
 			// (2) The exchange buffer carries its true source team so
 			// receivers can reject aliased buffers near reflective
-			// boundaries. The slice overwritten here is the one received
-			// in the previous step's last shift; its sender relinquished
-			// it on Send.
-			exchange = appendFrameTeam(exchange[:0], team, teamData)
+			// boundaries.
+			x.loadExchange(teamCopy)
 
 			// (3)+(4) Skew, then shift through the cutoff window with
 			// stride c. In overlap mode the buffer for step i+1 is
@@ -183,35 +170,33 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 				if i == 0 {
 					st.SetPhase(trace.Skew)
 					if to, from, ok := shiftPeers(0); ok {
-						exchange = layerComm.Sendrecv(to, exchange, from, tagShift)
+						x.shift(layerComm, to, from, tagShift)
 					}
 				}
 				st.SetPhase(trace.Shift)
-				var sendReq, recvReq *comm.Request
+				pending := false
 				if pr.Overlap && i+1 < steps {
 					if to, from, ok := shiftPeers(i + 1); ok {
-						sendReq = layerComm.Isend(to, tagShift+i+1, exchange)
-						recvReq = layerComm.Irecv(from, tagShift+i+1)
+						x.startShift(layerComm, to, from, tagShift+i+1)
+						pending = true
 					}
 				}
-				if err := update(exchange); err != nil {
+				if err := update(); err != nil {
 					return err
 				}
 				st.SetPhase(trace.Shift)
-				if recvReq != nil {
-					exchange = recvReq.Wait()
-					sendReq.Wait()
+				if pending {
+					x.finishShift()
 				} else if !pr.Overlap && i+1 < steps {
 					if to, from, ok := shiftPeers(i + 1); ok {
-						exchange = layerComm.Sendrecv(to, exchange, from, tagShift+i+1)
+						x.shift(layerComm, to, from, tagShift+i+1)
 					}
 				}
 			}
 
 			// (5) Sum-reduce the team's force contributions.
 			st.SetPhase(trace.Reduce)
-			forces = flattenForcesInto(forces[:0], teamCopy)
-			total := teamComm.ReduceF64s(0, forces)
+			total := x.reduceForces(teamComm, teamCopy)
 
 			if layer == 0 {
 				applyForces(mine, total)
@@ -220,7 +205,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 
 				// (6) Spatial reassignment between neighboring teams.
 				st.SetPhase(trace.Reassign)
-				mine, err = migrate(leaderComm, tg, team, mine, pr.Box, dirs, wrap)
+				mine, err = migrate(x, leaderComm, tg, team, mine, pr.Box, dirs, wrap)
 				if err != nil {
 					return err
 				}
@@ -317,10 +302,12 @@ func migrationDirs(dim int) []topo.Offset {
 }
 
 // migrate exchanges particles that left the team's spatial region with
-// the neighboring teams and returns the updated local set. Particles may
-// move at most one team width per step; exceeding that is reported as an
-// error (the timestep is too large for the decomposition).
-func migrate(leaders *comm.Comm, tg topo.TeamGrid, team int, mine []phys.Particle, box phys.Box, dirs []topo.Offset, wrap bool) ([]phys.Particle, error) {
+// the neighboring teams over the given transport and returns the updated
+// local set. Outgoing slices are freshly built each step and transfer
+// ownership outright on typed sends. Particles may move at most one team
+// width per step; exceeding that is reported as an error (the timestep
+// is too large for the decomposition).
+func migrate(x xfer, leaders *comm.Comm, tg topo.TeamGrid, team int, mine []phys.Particle, box phys.Box, dirs []topo.Offset, wrap bool) ([]phys.Particle, error) {
 	tx, ty := tg.Coord(team)
 	stay := mine[:0]
 	outgoing := make(map[topo.Offset][]phys.Particle)
@@ -346,12 +333,12 @@ func migrate(leaders *comm.Comm, tg topo.TeamGrid, team int, mine []phys.Particl
 		to, toOK := tg.Neighbor(team, dir.DX, dir.DY, wrap)
 		from, fromOK := tg.Neighbor(team, -dir.DX, -dir.DY, wrap)
 		if toOK && to != team {
-			leaders.Send(to, tagMigrate+d, phys.EncodeSlice(outgoing[dir]))
+			x.sendParticles(leaders, to, tagMigrate+d, outgoing[dir])
 		} else if len(outgoing[dir]) > 0 {
 			return nil, fmt.Errorf("core: particles migrating off the reflective grid toward %+v", dir)
 		}
 		if fromOK && from != team {
-			inc, err := phys.DecodeSlice(leaders.Recv(from, tagMigrate+d))
+			inc, err := x.recvParticles(leaders, from, tagMigrate+d)
 			if err != nil {
 				return nil, err
 			}

@@ -76,6 +76,7 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
 		me := world.Rank()
 		st := world.Stats()
+		x := newXfer(pr.Encoded, me, false)
 		var mine []phys.Particle
 		for i := range ps {
 			if teamOfPos(ps[i].Pos, pr.Box, tg) == me {
@@ -191,7 +192,7 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 			st.SetPhase(trace.Compute)
 			phys.Step(mine, pr.Box, pr.DT)
 			st.SetPhase(trace.Reassign)
-			migrated, err := migrate(world, tg, me, mine, pr.Box, dirs, false)
+			migrated, err := migrate(x, world, tg, me, mine, pr.Box, dirs, false)
 			if err != nil {
 				return err
 			}

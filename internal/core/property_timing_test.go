@@ -1,0 +1,47 @@
+//go:build !obsdebug
+
+// Wall-clock assertions only hold in release builds: the obsdebug
+// Stats ownership guard adds per-event overhead that dwarfs the tiny
+// compute phases these tests compare.
+
+package core
+
+import (
+	"testing"
+
+	"repro/internal/phys"
+)
+
+// TestClusteredWorkloadImbalance: a spatially clustered particle set
+// must load-balance perfectly under the all-pairs ID-block distribution
+// but show measurable compute imbalance under the cutoff's spatial
+// decomposition — the contrast behind the paper's uniform-density
+// assumption.
+func TestClusteredWorkloadImbalance(t *testing.T) {
+	box := phys.NewBox(16, 1, phys.Reflective)
+	clustered := phys.InitClustered(128, box, 2, 0.8, 17)
+
+	prCut := cutoffParams(16, 1, 1, phys.Reflective)
+	prCut.Steps = 3
+	_, repClustered, err := Cutoff(clustered, prCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := phys.InitLattice(128, box, 17)
+	_, repUniform, err := Cutoff(uniform, prCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := repClustered.ComputeImbalance()
+	iu := repUniform.ComputeImbalance()
+	if ic <= iu {
+		t.Errorf("clustered cutoff imbalance %.2f not above uniform %.2f", ic, iu)
+	}
+	// Sanity: clustered input remains numerically correct.
+	want := serialCutoffRun(clustered, prCut.Law, prCut.Box, prCut.Steps, prCut.DT)
+	got, _, err := Cutoff(clustered, prCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(t, got, want, 1e-9)
+}

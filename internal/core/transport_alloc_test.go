@@ -1,0 +1,45 @@
+//go:build !obsdebug
+
+// The zero-allocation claim is a release-build property: obsdebug
+// builds deliberately allocate in the Stats ownership guard, so this
+// test only runs without the tag.
+
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/phys"
+)
+
+// TestAllPairsSteadyStateAllocFreeEndToEnd pins the PR's headline
+// property: once the transport's retained buffers have grown, a
+// steady-state all-pairs timestep allocates nothing anywhere in the
+// pipeline — broadcast, skew, shifts, reduce, integrate. Measured as
+// the global malloc-count delta between two runs differing only in
+// step count: per-run setup costs cancel, so extra steps must
+// contribute zero mallocs.
+func TestAllPairsSteadyStateAllocFreeEndToEnd(t *testing.T) {
+	const p, c, n = 4, 2, 32
+	run := func(steps int) {
+		pr := defaultParams(p, c, steps)
+		ps := phys.InitUniform(n, pr.Box, 5)
+		if _, _, err := AllPairs(ps, pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mallocs := func(steps int) uint64 {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		run(steps)
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	run(2) // warm lazy runtime and package state
+	base := mallocs(2)
+	long := mallocs(12)
+	if long > base {
+		t.Errorf("10 extra steps allocated %d times, want 0 (2-step run %d mallocs, 12-step run %d)", long-base, base, long)
+	}
+}

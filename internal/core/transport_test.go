@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+// sameReportCounts asserts two reports agree on every communication
+// quantity (messages and bytes, critical-path and sum, per phase),
+// ignoring only wall-clock time. This is the accounting half of the
+// transport-fidelity contract: swapping the transport must not move a
+// single counted message or byte.
+func sameReportCounts(t *testing.T, typed, encoded *trace.Report) {
+	t.Helper()
+	if typed.Ranks != encoded.Ranks {
+		t.Fatalf("rank count: typed %d, encoded %d", typed.Ranks, encoded.Ranks)
+	}
+	check := func(label string, a, b trace.PhaseStats) {
+		if a.Messages != b.Messages || a.Bytes != b.Bytes ||
+			a.RecvMessages != b.RecvMessages || a.RecvBytes != b.RecvBytes {
+			t.Errorf("%s: typed {S=%d W=%d R=%d RW=%d}, encoded {S=%d W=%d R=%d RW=%d}",
+				label, a.Messages, a.Bytes, a.RecvMessages, a.RecvBytes,
+				b.Messages, b.Bytes, b.RecvMessages, b.RecvBytes)
+		}
+	}
+	for _, ph := range trace.Phases() {
+		check(fmt.Sprintf("critical-path %v", ph), typed.CriticalPath[ph], encoded.CriticalPath[ph])
+		check(fmt.Sprintf("sum %v", ph), typed.Sum[ph], encoded.Sum[ph])
+	}
+}
+
+// samePhysState asserts exact struct equality of two particle sets —
+// not approximate agreement: the typed and encoded transports perform
+// the identical floating-point operations in the identical order, so
+// any difference at all is a transport bug.
+func samePhysState(t *testing.T, typed, encoded []phys.Particle) {
+	t.Helper()
+	if len(typed) != len(encoded) {
+		t.Fatalf("typed produced %d particles, encoded %d", len(typed), len(encoded))
+	}
+	for i := range typed {
+		if typed[i] != encoded[i] {
+			t.Fatalf("particle %d differs between transports:\n typed   %+v\n encoded %+v", i, typed[i], encoded[i])
+		}
+	}
+}
+
+// TestAllPairsTypedMatchesEncoded is the transport equivalence property
+// test for the all-pairs algorithm: with identical inputs the default
+// zero-copy typed transport and the serialize-and-ship fallback must
+// produce bit-identical final states and identical message/word
+// accounting, in both synchronous and overlapped shift modes.
+func TestAllPairsTypedMatchesEncoded(t *testing.T) {
+	cases := []struct {
+		p, c, n int
+		overlap bool
+	}{
+		{1, 1, 16, false},
+		{4, 1, 24, false},
+		{4, 2, 24, false},
+		{4, 2, 24, true},
+		{8, 2, 32, false},
+		{8, 2, 32, true},
+		{16, 4, 48, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/c=%d/n=%d/overlap=%v", tc.p, tc.c, tc.n, tc.overlap), func(t *testing.T) {
+			t.Parallel()
+			pr := defaultParams(tc.p, tc.c, 4)
+			pr.Overlap = tc.overlap
+			ps := phys.InitUniform(tc.n, pr.Box, 7)
+
+			typed, typedRep, err := AllPairs(ps, pr)
+			if err != nil {
+				t.Fatalf("typed AllPairs: %v", err)
+			}
+			pr.Encoded = true
+			encoded, encodedRep, err := AllPairs(ps, pr)
+			if err != nil {
+				t.Fatalf("encoded AllPairs: %v", err)
+			}
+			samePhysState(t, typed, encoded)
+			sameReportCounts(t, typedRep, encodedRep)
+		})
+	}
+}
+
+// TestCutoffTypedMatchesEncoded is the transport equivalence property
+// test for the cutoff algorithm, covering both boundary conditions,
+// both dimensions (2D exercises per-step spatial migration), and both
+// shift modes.
+func TestCutoffTypedMatchesEncoded(t *testing.T) {
+	cases := []struct {
+		p, c, dim, n int
+		boundary     phys.Boundary
+		overlap      bool
+	}{
+		{8, 1, 1, 64, phys.Periodic, false},
+		{8, 1, 1, 64, phys.Periodic, true},
+		{16, 2, 1, 64, phys.Reflective, false},
+		{16, 2, 1, 64, phys.Reflective, true},
+		{16, 1, 2, 96, phys.Reflective, false},
+		{16, 1, 2, 96, phys.Reflective, true},
+		{32, 2, 2, 96, phys.Reflective, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("p=%d/c=%d/dim=%d/%v/overlap=%v", tc.p, tc.c, tc.dim, tc.boundary, tc.overlap), func(t *testing.T) {
+			t.Parallel()
+			pr := cutoffParams(tc.p, tc.c, tc.dim, tc.boundary)
+			pr.Overlap = tc.overlap
+			ps := phys.InitUniform(tc.n, pr.Box, 11)
+
+			typed, typedRep, err := Cutoff(ps, pr)
+			if err != nil {
+				t.Fatalf("typed Cutoff: %v", err)
+			}
+			pr.Encoded = true
+			encoded, encodedRep, err := Cutoff(ps, pr)
+			if err != nil {
+				t.Fatalf("encoded Cutoff: %v", err)
+			}
+			samePhysState(t, typed, encoded)
+			sameReportCounts(t, typedRep, encodedRep)
+		})
+	}
+}
+
+// TestMidpointTypedMatchesEncoded covers the migration path shared with
+// the midpoint method: the transport choice must not perturb ownership
+// reassignment.
+func TestMidpointTypedMatchesEncoded(t *testing.T) {
+	box := phys.NewBox(16, 2, phys.Reflective)
+	pr := Params{
+		P:     16,
+		C:     1,
+		Law:   phys.DefaultLaw().WithCutoff(box.L / 4),
+		Box:   box,
+		DT:    5e-4,
+		Steps: 3,
+	}
+	ps := phys.InitUniform(64, box, 13)
+	typed, typedRep, err := Midpoint2D(ps, pr)
+	if err != nil {
+		t.Fatalf("typed Midpoint2D: %v", err)
+	}
+	pr.Encoded = true
+	encoded, encodedRep, err := Midpoint2D(ps, pr)
+	if err != nil {
+		t.Fatalf("encoded Midpoint2D: %v", err)
+	}
+	samePhysState(t, typed, encoded)
+	sameReportCounts(t, typedRep, encodedRep)
+}
+

@@ -23,6 +23,12 @@ import (
 // the 52-byte particles of the paper's experiments.
 const WireSize = 4 + 16 + 16 + 16
 
+// WireBytes returns the wire-format size of n particles, n·WireSize.
+// The typed (zero-copy) transport in internal/comm charges exactly this
+// many bytes for a particle payload, so the measured S/W communication
+// quantities stay identical to the encoded wire format's.
+func WireBytes(n int) int { return n * WireSize }
+
 // Particle is a point particle with unit mass. Force is the accumulator
 // for the force acting on the particle during the current timestep; the
 // parallel algorithms sum partial contributions into it and reduce them
