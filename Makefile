@@ -20,14 +20,17 @@ test:
 # Goroutines share state in the comm substrate, the observability
 # layer, and — since the zero-copy typed transport — the core timestep
 # loops, whose buffers cross rank goroutines by reference under an
-# ownership-transfer contract. Run all three under the race detector:
-# for core it is the mechanical check of that contract.
+# ownership-transfer contract. The phys worker pool adds a second tier
+# of goroutines (intra-rank force tiles). Run all four under the race
+# detector: for core and phys it is the mechanical check of those
+# contracts.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/core/... ./internal/phys/...
 
-# obsdebug builds enforce the Stats single-goroutine ownership contract.
+# obsdebug builds enforce the Stats single-goroutine ownership contract
+# (pool workers never touch Stats; only the rank goroutine stamps).
 obsdebug:
-	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/...
+	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/... ./internal/phys/...
 
 # Benchmark guard: the disabled observability path must not allocate
 # (asserted by TestDisabledPathAllocs) and the benchmark must run clean.
@@ -38,14 +41,15 @@ benchguard:
 # Smoke gates: the specialized LJ-cutoff kernel must beat the generic
 # per-pair path and the typed transport must beat the serialize-and-ship
 # fallback (small thresholds, robust to loaded machines); the
-# specialized kernel must not allocate.
+# specialized kernel must not allocate; pooled (workers>1) runs must be
+# bitwise-identical to workers=1 with unchanged S/W.
 benchsmoke:
 	$(GO) run ./cmd/bench -smoke
 
-# Full benchmark report: kernel microbenchmarks (generic vs specialized),
-# speedups, end-to-end per-step wall times, and the typed-vs-encoded
-# transport comparison, written to BENCH_PR3.json. The obs
-# micro-benchmarks ride along.
+# Full benchmark report: kernel microbenchmarks (generic vs specialized,
+# pooled worker widths), speedups, end-to-end per-step wall times, the
+# typed-vs-encoded transport comparison, and the rank×worker scaling
+# grid, written to BENCH_PR4.json. The obs micro-benchmarks ride along.
 bench:
-	$(GO) run ./cmd/bench -o BENCH_PR3.json
+	$(GO) run ./cmd/bench -o BENCH_PR4.json
 	$(GO) test -run NONE -bench . -benchtime 1s ./internal/obs/

@@ -147,6 +147,19 @@ type Config struct {
 	// sends) — the optimization production MD codes add on top of the
 	// paper's synchronous algorithm.
 	Overlap bool
+	// Workers is the intra-rank worker-pool width for the force phase:
+	// each rank tiles its force accumulation across this many
+	// goroutines by disjoint target ranges, so results are
+	// bitwise-identical for every width. 0 (the default) spreads
+	// GOMAXPROCS evenly over the P ranks, clamped to 1 once the ranks
+	// alone cover the machine. Explicit values trade off against P:
+	// the run keeps P × Workers goroutines compute-busy, so P ×
+	// Workers > GOMAXPROCS oversubscribes the machine — the force
+	// phase then time-slices instead of speeding up, and latency-bound
+	// phases (shifts, reductions) suffer scheduling jitter. Prefer
+	// raising Workers only while P × Workers ≤ GOMAXPROCS; negative
+	// values are rejected.
+	Workers int
 	// EncodedTransport selects the serialize-and-ship message path for
 	// the CA timestep loops instead of the default zero-copy typed
 	// transport. Results and measured communication quantities are
@@ -218,6 +231,7 @@ func (c Config) params(steps int) core.Params {
 		Options: comm.Options{Collectives: c.Collectives},
 		Overlap: c.Overlap,
 		Encoded: c.EncodedTransport,
+		Workers: c.Workers,
 	}
 }
 
@@ -259,6 +273,9 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	if cfg.Cutoff < 0 || cfg.Cutoff > cfg.BoxLength {
 		return nil, fmt.Errorf("nbody: cutoff %g outside [0, box length %g]", cfg.Cutoff, cfg.BoxLength)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("nbody: negative worker count %d", cfg.Workers)
 	}
 	if alg := cfg.resolveAlgorithm(); (alg == CACutoff || alg == Midpoint) && cfg.Cutoff == 0 {
 		return nil, fmt.Errorf("nbody: %v requires a positive cutoff", alg)

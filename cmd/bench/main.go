@@ -1,15 +1,26 @@
 // Command bench measures the hot-path force kernels against their
 // generic per-pair reference implementations, the end-to-end per-step
-// wall time of the parallel algorithms, and the zero-copy typed
-// transport against the serialize-and-ship fallback, writing the
-// results as JSON (BENCH_PR3.json in the repository root records a
-// committed run).
+// wall time of the parallel algorithms, the zero-copy typed transport
+// against the serialize-and-ship fallback, and the intra-rank force
+// pool's rank×worker scaling, writing the results as JSON
+// (BENCH_PR4.json in the repository root records a committed run).
 //
-//	bench -o BENCH_PR3.json   # full run, write the JSON report
+//	bench -o BENCH_PR4.json   # full run, write the JSON report
 //	bench -smoke              # fast gates only; exit 1 unless the
 //	                          # specialized LJ-cutoff kernel and the
 //	                          # typed transport beat their baselines
-//	                          # by the smoke thresholds
+//	                          # by the smoke thresholds, or pooled
+//	                          # (workers > 1) runs diverge from
+//	                          # workers=1 in final state or S/W
+//
+// The worker-pool comparison runs the same kernel batch and the same
+// end-to-end configuration at widths 1, 2 and 4. The pool tiles by
+// disjoint target ranges, so speedups are pure parallel efficiency:
+// final states are bitwise-identical and per-phase message/byte counts
+// unchanged across widths (both checked here, and gated in -smoke).
+// Widths above GOMAXPROCS only time-slice — on a single-core host the
+// reported speedups sit at ~1.0x and only the invariants are
+// meaningful.
 //
 // The kernel microbenchmarks exercise phys.Kernel.Accumulate[In] and
 // CellList.Forces against AccumulateGeneric/AccumulateInGeneric/
@@ -40,6 +51,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/phys"
+	"repro/internal/trace"
 )
 
 // result is one benchmark line of the JSON report.
@@ -74,23 +86,45 @@ type transportResult struct {
 	Speedup          float64 `json:"speedup"`
 }
 
+// workerKernelResult is one pooled force-phase microbench line: the
+// same Accumulate batch tiled across a pool of the given width.
+type workerKernelResult struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"` // vs workers=1 on the same batch
+}
+
+// workerScalingResult is one rank×worker end-to-end timing.
+type workerScalingResult struct {
+	Algorithm     string  `json:"algorithm"`
+	Particles     int     `json:"particles"`
+	Ranks         int     `json:"ranks"`
+	Workers       int     `json:"workers"`
+	Steps         int     `json:"steps"`
+	WallNsPerStep float64 `json:"wall_ns_per_step"`
+	Speedup       float64 `json:"speedup"` // vs workers=1 at the same rank count
+}
+
 type report struct {
-	GoVersion  string             `json:"go_version"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Kernels    []result           `json:"kernels"`
-	Speedups   map[string]float64 `json:"speedups"`
-	Timesteps  []stepResult       `json:"timesteps"`
-	Transport  []transportResult  `json:"transport"`
+	GoVersion     string                `json:"go_version"`
+	GOMAXPROCS    int                   `json:"gomaxprocs"`
+	Kernels       []result              `json:"kernels"`
+	Speedups      map[string]float64    `json:"speedups"`
+	Timesteps     []stepResult          `json:"timesteps"`
+	Transport     []transportResult     `json:"transport"`
+	WorkerKernels []workerKernelResult  `json:"worker_kernels"`
+	WorkerScaling []workerScalingResult `json:"worker_scaling"`
 }
 
 // smokeThreshold is the minimum LJ-cutoff speedup the -smoke gate
-// accepts. Deliberately below the ≥1.3× the committed BENCH_PR3.json
+// accepts. Deliberately below the ≥1.3× the committed BENCH_PR4.json
 // demonstrates: the gate guards against the fast path regressing to the
 // generic path's cost on loaded CI machines, not against noise.
 const smokeThreshold = 1.1
 
 // transportSmokeThreshold is the minimum typed-over-encoded all-pairs
-// speedup the -smoke gate accepts. The committed BENCH_PR3.json shows
+// speedup the -smoke gate accepts. The committed BENCH_PR4.json shows
 // ≥1.3×; the gate is set well below that so it trips only when the
 // typed path regresses to (near) codec cost, not on machine noise.
 const transportSmokeThreshold = 1.05
@@ -99,7 +133,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out   = flag.String("o", "BENCH_PR3.json", "output path for the JSON report")
+		out   = flag.String("o", "BENCH_PR4.json", "output path for the JSON report")
 		smoke = flag.Bool("smoke", false, "run only the smoke gates (LJ-cutoff kernel, typed transport)")
 	)
 	flag.Parse()
@@ -155,6 +189,7 @@ func main() {
 		if tr.Speedup < transportSmokeThreshold {
 			log.Fatalf("FAIL: typed transport speedup %.2fx below threshold %.2fx", tr.Speedup, transportSmokeThreshold)
 		}
+		checkWorkerInvariance()
 		fmt.Println("ok")
 		return
 	}
@@ -218,6 +253,20 @@ func main() {
 	for _, tr := range rep.Transport {
 		rep.Speedups["transport_"+tr.Algorithm] = tr.Speedup
 	}
+
+	rep.WorkerKernels = benchWorkerKernels()
+	for _, wr := range rep.WorkerKernels {
+		if wr.Workers > 1 {
+			rep.Speedups[fmt.Sprintf("pool_accumulate_w%d", wr.Workers)] = wr.Speedup
+		}
+	}
+	rep.WorkerScaling = workerScaling()
+	for _, sr := range rep.WorkerScaling {
+		if sr.Workers > 1 {
+			rep.Speedups[fmt.Sprintf("%s_p%d_w%d", sr.Algorithm, sr.Ranks, sr.Workers)] = sr.Speedup
+		}
+	}
+	checkWorkerInvariance()
 
 	if rep.Speedups["lj_cut"] < smokeThreshold {
 		log.Fatalf("FAIL: lj_cut speedup %.2fx below threshold %.2fx", rep.Speedups["lj_cut"], smokeThreshold)
@@ -367,4 +416,152 @@ func transportCutoff(reps int) transportResult {
 	fmt.Printf("%-28s typed %10.1f ns/step  encoded %10.1f ns/step  %.2fx\n",
 		"transport cutoff p=8 c=2", typed, encoded, tr.Speedup)
 	return tr
+}
+
+// poolWidths are the worker-pool widths every pool comparison sweeps.
+var poolWidths = []int{1, 2, 4}
+
+// benchWorkerKernels times one LJ-cutoff Accumulate batch tiled across
+// pools of each width — the isolated force-phase speedup, free of
+// communication. The batch is large (1024 targets) so tiles dominate
+// dispatch overhead.
+func benchWorkerKernels() []workerKernelResult {
+	box := phys.NewBox(3, 2, phys.Periodic)
+	targets := phys.InitUniform(1024, box, 21)
+	sources := phys.InitUniform(1024, box, 22)
+	for i := range sources {
+		sources[i].ID += uint32(len(targets))
+	}
+	kern := phys.LJLaw(0.7, 0.4).WithCutoff(0.9).Kernel()
+	var out []workerKernelResult
+	var base float64
+	for _, w := range poolWidths {
+		pool := phys.NewPool(w)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool.Accumulate(kern, targets, sources)
+			}
+		})
+		pool.Close()
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if w == 1 {
+			base = ns
+		}
+		res := workerKernelResult{Name: "pool_accumulate", Workers: w, NsPerOp: ns, Speedup: base / ns}
+		fmt.Printf("%-28s %12d iters %14.1f ns/op %8.2fx\n",
+			fmt.Sprintf("pool_accumulate w=%d", w), r.N, ns, res.Speedup)
+		out = append(out, res)
+	}
+	return out
+}
+
+// workerScaling times end-to-end all-pairs runs over the rank×worker
+// grid: the single-rank column isolates the pool's force-phase win, the
+// multi-rank column shows how it composes with the decomposition.
+func workerScaling() []workerScalingResult {
+	const n, steps, reps = 512, 10, 3
+	var out []workerScalingResult
+	for _, p := range []int{1, 4} {
+		var base float64
+		for _, w := range poolWidths {
+			pr := core.Params{
+				P:       p,
+				C:       1,
+				Law:     phys.DefaultLaw(),
+				Box:     phys.NewBox(10, 2, phys.Reflective),
+				DT:      1e-3,
+				Steps:   steps,
+				Workers: w,
+			}
+			ps := phys.InitUniform(n, pr.Box, 23)
+			wall := medianStepTime(steps, reps, func() {
+				if _, _, err := core.AllPairs(ps, pr); err != nil {
+					log.Fatal(err)
+				}
+			})
+			if w == 1 {
+				base = wall
+			}
+			res := workerScalingResult{
+				Algorithm: "allpairs", Particles: n, Ranks: p, Workers: w, Steps: steps,
+				WallNsPerStep: wall, Speedup: base / wall,
+			}
+			fmt.Printf("%-28s %14.1f ns/step %8.2fx\n",
+				fmt.Sprintf("allpairs n=%d p=%d w=%d", n, p, w), wall, res.Speedup)
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// checkWorkerInvariance runs each algorithm across the pool widths and
+// fails the process unless every width reproduces the workers=1 final
+// state bitwise with identical per-phase message/byte counts — the
+// pool's determinism contract, and the proof that tiling changes
+// neither the physics nor the measured S/W.
+func checkWorkerInvariance() {
+	type cfg struct {
+		name string
+		run  func(workers int) ([]phys.Particle, *trace.Report)
+	}
+	apBox := phys.NewBox(10, 2, phys.Reflective)
+	cutBox := phys.NewBox(16, 1, phys.Periodic)
+	midBox := phys.NewBox(16, 2, phys.Reflective)
+	configs := []cfg{
+		{"allpairs p=4 c=2", func(w int) ([]phys.Particle, *trace.Report) {
+			pr := core.Params{P: 4, C: 2, Law: phys.DefaultLaw(), Box: apBox, DT: 1e-3, Steps: 4, Workers: w}
+			ps, rep, err := core.AllPairs(phys.InitUniform(64, apBox, 29), pr)
+			if err != nil {
+				log.Fatalf("worker invariance allpairs w=%d: %v", w, err)
+			}
+			return ps, rep
+		}},
+		{"cutoff p=8 c=2", func(w int) ([]phys.Particle, *trace.Report) {
+			pr := core.Params{P: 8, C: 2, Law: phys.DefaultLaw().WithCutoff(cutBox.L / 4), Box: cutBox, DT: 5e-4, Steps: 4, Workers: w}
+			ps, rep, err := core.Cutoff(phys.InitLattice(128, cutBox, 29), pr)
+			if err != nil {
+				log.Fatalf("worker invariance cutoff w=%d: %v", w, err)
+			}
+			return ps, rep
+		}},
+		{"midpoint p=9", func(w int) ([]phys.Particle, *trace.Report) {
+			pr := core.Params{P: 9, C: 1, Law: phys.DefaultLaw().WithCutoff(4), Box: midBox, DT: 5e-4, Steps: 4, Workers: w}
+			ps, rep, err := core.Midpoint2D(phys.InitLattice(128, midBox, 29), pr)
+			if err != nil {
+				log.Fatalf("worker invariance midpoint w=%d: %v", w, err)
+			}
+			return ps, rep
+		}},
+	}
+	for _, c := range configs {
+		want, wantRep := c.run(1)
+		for _, w := range poolWidths[1:] {
+			got, gotRep := c.run(w)
+			for i := range want {
+				if got[i] != want[i] {
+					log.Fatalf("FAIL: %s workers=%d diverges from workers=1 at particle %d", c.name, w, i)
+				}
+			}
+			if !sameComm(wantRep, gotRep) {
+				log.Fatalf("FAIL: %s workers=%d changed per-phase message/byte counts", c.name, w)
+			}
+		}
+	}
+	fmt.Println("worker invariance: final states bitwise-identical, S/W unchanged (allpairs, cutoff, midpoint)")
+}
+
+// sameComm reports whether two runs produced identical per-phase
+// message and byte counts (critical-path and summed; time excluded —
+// it is the one thing pooling is meant to change).
+func sameComm(a, b *trace.Report) bool {
+	counts := func(s trace.PhaseStats) [4]int64 {
+		return [4]int64{s.Messages, s.Bytes, s.RecvMessages, s.RecvBytes}
+	}
+	for _, p := range trace.Phases() {
+		if counts(a.CriticalPath[p]) != counts(b.CriticalPath[p]) ||
+			counts(a.Sum[p]) != counts(b.Sum[p]) {
+			return false
+		}
+	}
+	return true
 }

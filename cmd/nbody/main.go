@@ -28,6 +28,7 @@ func main() {
 		n           = flag.Int("n", 1024, "number of particles")
 		p           = flag.Int("p", 16, "number of ranks (goroutines)")
 		c           = flag.Int("c", 1, "replication factor")
+		workers     = flag.Int("workers", 0, "intra-rank force workers per rank (0 = spread GOMAXPROCS over ranks)")
 		dim         = flag.Int("dim", 2, "spatial dimension (1 or 2)")
 		cutoff      = flag.Float64("cutoff", 0, "cutoff radius (0 = all pairs)")
 		steps       = flag.Int("steps", 10, "timesteps to run")
@@ -60,7 +61,7 @@ func main() {
 	observing := *traceOut != "" || *traceJSONL != "" || *metricsOut != ""
 
 	cfg := nbody.Config{
-		N: *n, P: *p, C: *c, Dim: *dim, Cutoff: *cutoff,
+		N: *n, P: *p, C: *c, Workers: *workers, Dim: *dim, Cutoff: *cutoff,
 		DT: *dt, BoxLength: *boxL, Seed: *seed, Lattice: *lattice,
 	}
 	if observing {

@@ -36,8 +36,10 @@ func main() {
 		dim      = flag.Int("dim", 2, "spatial dimension")
 		cutoff   = flag.Float64("cutoff", 0, "cutoff radius (0 = all pairs)")
 		steps    = flag.Int("steps", 5, "timesteps per configuration")
+		workers  = flag.Int("workers", 0, "intra-rank force workers per rank (0 = spread GOMAXPROCS over ranks)")
 		csFlag     = flag.String("cs", "1,2,4,8", "comma-separated replication factors")
 		autotune   = flag.Bool("autotune", false, "pick c automatically instead of sweeping")
+		autotuneW  = flag.Bool("autotune-workers", false, "pick the worker-pool width automatically instead of sweeping")
 		traceOut   = flag.String("trace-out", "", "write one Chrome trace per configuration, with .c<N> inserted before the extension")
 		metricsOut = flag.String("metrics-out", "", "write one metrics snapshot per configuration, with .c<N> inserted before the extension")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -51,9 +53,26 @@ func main() {
 		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	cfg := nbody.Config{N: *n, P: *p, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0}
+	cfg := nbody.Config{N: *n, P: *p, Workers: *workers, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0}
 	if *traceOut != "" || *metricsOut != "" {
 		cfg.Observe = &nbody.ObserveOptions{}
+	}
+
+	if *autotuneW {
+		best, results, err := nbody.AutotuneWorkers(cfg, *steps, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %14s\n", "workers", "time/step")
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Printf("workers=%-4d %14s (%v)\n", r.Workers, "-", r.Err)
+				continue
+			}
+			fmt.Printf("workers=%-4d %14v\n", r.Workers, r.PerStep)
+		}
+		fmt.Printf("autotuned worker-pool width: workers=%d\n", best)
+		return
 	}
 
 	if *autotune {

@@ -54,6 +54,39 @@ func ExampleAutotuneC() {
 	// Output: chose a feasible factor: true
 }
 
+// Hierarchical parallelism: each rank tiles its force phase across an
+// intra-rank worker pool. Results are bitwise-identical for every
+// width, so the knob is purely a speed tradeoff (keep P × Workers
+// within GOMAXPROCS).
+func ExampleConfig_workers() {
+	base := nbody.Config{N: 64, P: 4, Seed: 7}
+	pooled := base
+	pooled.Workers = 4
+	a, err := nbody.New(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := nbody.New(pooled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Run(5); err != nil {
+		log.Fatal(err)
+	}
+	if err := b.Run(5); err != nil {
+		log.Fatal(err)
+	}
+	identical := true
+	pa, pb := a.Particles(), b.Particles()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			identical = false
+		}
+	}
+	fmt.Printf("pooled run bitwise-identical=%v\n", identical)
+	// Output: pooled run bitwise-identical=true
+}
+
 // Switching the decomposition: the midpoint method from the paper's
 // related work computes each pair on the processor owning its midpoint.
 func ExampleConfig() {

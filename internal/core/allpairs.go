@@ -76,10 +76,18 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 
 		// Per-rank fast-path state, built once: the law is compiled to a
 		// specialized kernel (kind/cutoff/softening resolved outside the
-		// pair loop) and the transport retains its buffers across steps
+		// pair loop), the transport retains its buffers across steps
 		// (double-buffering the exchange; see the reuse discipline in
-		// transport.go), so the steady-state timestep allocates nothing.
+		// transport.go), and the force pool keeps its workers parked
+		// between batches, so the steady-state timestep allocates
+		// nothing. The pool tiles the accumulation by disjoint target
+		// blocks — bitwise-identical for any worker count — and in
+		// overlap mode its workers compute on the held buffer while the
+		// next exchange is in flight, reading only the read-only view.
 		kern := pr.Law.Kernel()
+		pool := phys.NewPool(pr.WorkersPerRank())
+		defer pool.Close()
+		po := newPoolObs(pool, st, mx)
 		x := newXfer(pr.Encoded, -1, pr.Overlap)
 		var team []phys.Particle
 		update := func() error {
@@ -88,7 +96,8 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 				return err
 			}
 			st.SetPhase(trace.Compute)
-			pairEvals.Add(kern.Accumulate(team, visiting))
+			pairEvals.Add(pool.Accumulate(kern, team, visiting))
+			po.stampBatch()
 			return nil
 		}
 
@@ -161,6 +170,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 				phys.Step(mine, pr.Box, pr.DT)
 			}
 			st.SetPhase(trace.Other)
+			po.stampStep()
 			if observed {
 				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
 				if rank == 0 {

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/comm"
 	"repro/internal/phys"
@@ -44,10 +45,32 @@ type Params struct {
 	// quantities (the transport property tests assert it); the encoded
 	// path remains as the verification fallback and benchmark baseline.
 	Encoded bool
+	// Workers is the intra-rank worker-pool width for the force phase:
+	// each rank tiles its force accumulation over this many goroutines
+	// (disjoint target blocks, bitwise-identical results for any
+	// width). 0 spreads GOMAXPROCS evenly across the P ranks, clamped
+	// to 1 when P alone already oversubscribes the machine. Negative
+	// values are rejected by validation.
+	Workers int
 }
 
 // Teams returns the number of teams p/c.
 func (pr Params) Teams() int { return pr.P / pr.C }
+
+// WorkersPerRank resolves the Workers knob to the pool width each rank
+// uses: an explicit positive value is taken as-is, 0 spreads
+// GOMAXPROCS across the P ranks (P ranks × this many workers ≈ the
+// machine), clamped to 1 once the ranks alone cover every core.
+func (pr Params) WorkersPerRank() int {
+	if pr.Workers > 0 {
+		return pr.Workers
+	}
+	w := runtime.GOMAXPROCS(0) / pr.P
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 func (pr Params) validateCommon(n int) error {
 	if pr.P <= 0 {
@@ -61,6 +84,9 @@ func (pr Params) validateCommon(n int) error {
 	}
 	if pr.Steps < 0 {
 		return fmt.Errorf("core: negative step count %d", pr.Steps)
+	}
+	if pr.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", pr.Workers)
 	}
 	if n <= 0 {
 		return fmt.Errorf("core: empty particle set")

@@ -107,11 +107,18 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		observed := mx != nil
 
 		// Per-rank fast-path state, built once per run: specialized
-		// kernel plus the transport's retained buffers (see transport.go
-		// for the exchange reuse discipline). Migration buffers are NOT
-		// reused — their sizes are data-dependent and their payloads are
-		// retained by the receiving leader.
+		// kernel, the transport's retained buffers (see transport.go
+		// for the exchange reuse discipline), and the force pool with
+		// its parked workers. Migration buffers are NOT reused — their
+		// sizes are data-dependent and their payloads are retained by
+		// the receiving leader. The pool tiles the import-region
+		// accumulation by disjoint target blocks (bitwise-identical for
+		// any worker count); under Overlap its workers read the held
+		// buffer while the next shift is in flight.
 		kern := pr.Law.Kernel()
+		pool := phys.NewPool(pr.WorkersPerRank())
+		defer pool.Close()
+		po := newPoolObs(pool, st, mx)
 		x := newXfer(pr.Encoded, team, pr.Overlap)
 		var teamCopy []phys.Particle
 		update := func() error {
@@ -123,7 +130,8 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 				return nil // aliased buffer from beyond a reflective edge
 			}
 			st.SetPhase(trace.Compute)
-			pairEvals.Add(kern.AccumulateIn(teamCopy, visiting, pr.Box))
+			pairEvals.Add(pool.AccumulateIn(kern, teamCopy, visiting, pr.Box))
+			po.stampBatch()
 			return nil
 		}
 		shiftPeers := func(i int) (to, from int, ok bool) {
@@ -211,6 +219,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 				}
 			}
 			st.SetPhase(trace.Other)
+			po.stampStep()
 			if observed {
 				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
 				if rank == 0 {

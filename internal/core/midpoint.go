@@ -77,6 +77,9 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 		me := world.Rank()
 		st := world.Stats()
 		x := newXfer(pr.Encoded, me, false)
+		pool := phys.NewPool(pr.WorkersPerRank())
+		defer pool.Close()
+		po := newPoolObs(pool, st, world.Metrics())
 		var mine []phys.Particle
 		for i := range ps {
 			if teamOfPos(ps[i].Pos, pr.Box, tg) == me {
@@ -108,7 +111,18 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 				}
 			}
 
-			// (2) Compute every pair whose midpoint lies in my cell.
+			// (2) Compute every pair whose midpoint lies in my cell. The
+			// traversal is target-major: each target sums open.Pair over
+			// every other held particle whose pair midpoint is mine. That
+			// evaluates both ordered directions of each pair (the
+			// symmetric half-traversal would halve the work) but makes
+			// each target's accumulator exclusively its own, so the pool
+			// can tile the flat target index space by disjoint ranges and
+			// the result is bitwise-identical for any worker count —
+			// Pair is bitwise antisymmetric and the midpoint/cutoff/ID
+			// guards are symmetric, so per-particle sums match the
+			// half-traversal to rounding (the method's accuracy tests are
+			// tolerance-based).
 			st.SetPhase(trace.Compute)
 			type cellRef struct {
 				owner     int
@@ -125,32 +139,48 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 			rc2 := pr.Law.Cutoff * pr.Law.Cutoff
 			open := pr.Law
 			open.Cutoff = 0
-			for a := range cells {
-				for b := a; b < len(cells); b++ {
-					pa, pb := cells[a].particles, cells[b].particles
-					for i := range pa {
-						jStart := 0
-						if a == b {
-							jStart = i + 1
-						}
-						for j := jStart; j < len(pb); j++ {
-							if pa[i].ID == pb[j].ID {
+			// Prefix sums give every particle a global target index the
+			// pool can partition.
+			cellStart := make([]int, len(cells)+1)
+			for ci := range cells {
+				cellStart[ci+1] = cellStart[ci] + len(cells[ci].particles)
+			}
+			pool.Run(cellStart[len(cells)], func(lo, hi, _ int) int64 {
+				// Locate the cell holding global target lo, then walk.
+				ci := sort.SearchInts(cellStart, lo+1) - 1
+				li := lo - cellStart[ci]
+				var pairs int64
+				for g := lo; g < hi; g++ {
+					for li >= len(cells[ci].particles) {
+						ci++
+						li = 0
+					}
+					t := &cells[ci].particles[li]
+					f := t.Force
+					for b := range cells {
+						pb := cells[b].particles
+						for j := range pb {
+							s := &pb[j]
+							if t.ID == s.ID {
 								continue
 							}
-							mid := pa[i].Pos.Add(pb[j].Pos).Scale(0.5)
+							mid := t.Pos.Add(s.Pos).Scale(0.5)
 							if teamOfPos(mid, pr.Box, tg) != me {
 								continue
 							}
-							if pa[i].Pos.Dist2(pb[j].Pos) > rc2 {
+							if t.Pos.Dist2(s.Pos) > rc2 {
 								continue
 							}
-							f := open.Pair(pa[i].Pos, pb[j].Pos)
-							pa[i].Force = pa[i].Force.Add(f)
-							pb[j].Force = pb[j].Force.Sub(f)
+							f = f.Add(open.Pair(t.Pos, s.Pos))
+							pairs++
 						}
 					}
+					t.Force = f
+					li++
 				}
-			}
+				return pairs
+			})
+			po.stampBatch()
 
 			// (3) Export: return force contributions to their owners and
 			// sum contributions arriving for my cell.
@@ -198,6 +228,7 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 			}
 			mine = migrated
 			st.SetPhase(trace.Other)
+			po.stampStep()
 		}
 		results[me] = mine
 		return nil

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/phys"
+	"repro/internal/trace"
+)
+
+// poolObs attributes a rank's force-pool busy time to observability.
+// The pool records per-worker busy nanoseconds internally (workers
+// never touch Stats or the tracer — those are single-goroutine); the
+// rank goroutine stamps them out between batches and steps:
+//
+//   - stampBatch emits one tracer span per worker for the batch that
+//     just drained (timeline view, observed runs only);
+//   - stampStep charges the step's per-worker busy delta to
+//     trace.Stats (the per-worker imbalance footer) and the
+//     "step.worker_compute_ns" histogram.
+//
+// All fields are set up once per rank; the zero-pool (workers = 1)
+// variant makes every method a no-op, so the loops call
+// unconditionally. Steady-state stamping allocates nothing: the delta
+// slice is preallocated and Stats' lane slice stops growing after the
+// first step.
+type poolObs struct {
+	pool *phys.Pool
+	st   *trace.Stats
+	hist *obs.Histogram
+	prev []int64 // busy counters at the previous stampStep
+}
+
+// newPoolObs builds the stamping state for one rank. mx may be nil
+// (unobserved run): the histogram handle is then nil and Observe
+// no-ops, but Stats lanes are still charged so the Report footer has
+// per-worker data in every run, like the per-rank phase times.
+func newPoolObs(pool *phys.Pool, st *trace.Stats, mx *obs.Registry) poolObs {
+	o := poolObs{pool: pool, st: st, hist: mx.Histogram("step.worker_compute_ns")}
+	if pool != nil {
+		o.prev = make([]int64, pool.Workers())
+	}
+	return o
+}
+
+// stampBatch emits per-worker timeline spans for the batch that just
+// drained. Nil tracer (unobserved run) and nil pool are no-ops.
+func (o *poolObs) stampBatch() {
+	if o.pool == nil {
+		return
+	}
+	tr := o.st.Tracer()
+	if tr == nil {
+		return
+	}
+	for w, ns := range o.pool.LastSpansNs() {
+		tr.WorkerSpan(w, ns)
+	}
+}
+
+// stampStep charges the per-worker busy time accumulated since the
+// previous stampStep to Stats and the step histogram.
+func (o *poolObs) stampStep() {
+	if o.pool == nil {
+		return
+	}
+	for w, ns := range o.pool.BusyNs() {
+		d := ns - o.prev[w]
+		o.prev[w] = ns
+		o.st.AddWorkerCompute(w, time.Duration(d))
+		o.hist.Observe(d)
+	}
+}

@@ -93,6 +93,12 @@ func (tl *Timeline) chrome(rank int, ev Event) chromeEvent {
 		ce.Ph = "X"
 		ce.Tid = 1 // separate track so waits don't occlude phase spans
 		ce.Args = map[string]any{"peer": ev.Peer, "tag": ev.Tag, "bytes": ev.Bytes}
+	case KindWorker:
+		ce.Name = fmt.Sprintf("worker %d", ev.Peer)
+		ce.Cat = "worker"
+		ce.Ph = "X"
+		ce.Tid = 2 + int(ev.Peer) // one track per pool worker, below msg
+		ce.Args = map[string]any{"worker": ev.Peer}
 	default:
 		ce.Name = ev.Kind.String()
 		ce.Cat = "collective"

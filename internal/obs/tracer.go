@@ -25,6 +25,11 @@ const (
 	KindReduce
 	KindGather
 	KindAllgather
+	// KindWorker is an intra-rank force-pool worker span: Peer holds
+	// the worker id within the rank's pool, Start/Dur the tile's busy
+	// extent. Stamped by the rank goroutine after the batch drains, so
+	// the tracer's single-goroutine contract holds.
+	KindWorker
 	numKinds
 )
 
@@ -46,6 +51,8 @@ func (k Kind) String() string {
 		return "gather"
 	case KindAllgather:
 		return "allgather"
+	case KindWorker:
+		return "worker"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -279,6 +286,20 @@ func (t *Tracer) Collective(k Kind, start int64, bytes int) {
 		return
 	}
 	t.record(Event{Start: start, Dur: t.Now() - start, Kind: k, Phase: t.openPhase, Peer: -1, Bytes: int64(bytes)})
+}
+
+// WorkerSpan records one intra-rank force-pool worker's busy span of
+// durNs nanoseconds ending now: worker is the id within the rank's
+// pool. Called by the rank goroutine after the pool batch drains (the
+// pool measures each worker's busy time; only the owner talks to the
+// tracer), so the recorded end time is the batch drain, not the tile's
+// own end — tiles of one batch render stacked against a shared edge.
+func (t *Tracer) WorkerSpan(worker int, durNs int64) {
+	if t == nil {
+		return
+	}
+	now := t.Now()
+	t.record(Event{Start: now - durNs, Dur: durNs, Kind: KindWorker, Phase: t.openPhase, Peer: int32(worker)})
 }
 
 // Len returns the number of events currently held (≤ capacity).

@@ -139,16 +139,41 @@ func (cl *CellList) shiftCoord(c, d int) (int, bool) {
 // neighbor table, so a Forces call over a built list allocates nothing;
 // ForcesGeneric is the per-pair reference it is verified against.
 func (cl *CellList) Forces(ps []Particle, law Law) {
+	cl.ForcesPooled(ps, law, nil)
+}
+
+// ForcesPooled is Forces with the cell index space tiled across a
+// worker pool. Each particle belongs to exactly one cell, so a
+// contiguous cell tile owns a disjoint set of force accumulators and
+// the result is bitwise-identical to Forces for every worker count. A
+// nil pool runs the whole range inline (Forces delegates here).
+func (cl *CellList) ForcesPooled(ps []Particle, law Law, pool *Pool) {
 	if law.Cutoff != cl.rc {
 		panic("phys: law cutoff differs from cell list cutoff")
 	}
 	ClearForces(ps)
 	k := law.Kernel()
-	if k.lj {
-		cl.forcesLJ(ps, &k)
-	} else {
-		cl.forcesRep(ps, &k)
+	if pool == nil {
+		cl.forcesRange(ps, &k, 0, len(cl.cells))
+		return
 	}
+	pool.cellForces(cl, ps, k)
+}
+
+// forcesRange evaluates the cells in [lo, hi), dispatching once to the
+// per-potential specialized loop, and returns the number of target
+// particles covered (the pool's per-tile work measure).
+func (cl *CellList) forcesRange(ps []Particle, k *Kernel, lo, hi int) int64 {
+	var covered int64
+	for c := lo; c < hi; c++ {
+		covered += int64(len(cl.cells[c]))
+	}
+	if k.lj {
+		cl.forcesLJ(ps, k, lo, hi)
+	} else {
+		cl.forcesRep(ps, k, lo, hi)
+	}
+	return covered
 }
 
 // ForcesGeneric is the unspecialized reference implementation of Forces,
@@ -190,10 +215,10 @@ func (cl *CellList) ForcesGeneric(ps []Particle, law Law) {
 // Like the repulsive Kernel loops (see kernel.go), the member loop runs
 // two sources wide with both lane weights live across the sqrts to break
 // SQRTSD's false output dependency; accumulation stays in member order.
-func (cl *CellList) forcesRep(ps []Particle, k *Kernel) {
+func (cl *CellList) forcesRep(ps []Particle, k *Kernel, lo, hi int) {
 	kk, soft2, rc2 := k.k, k.soft2, k.rc2
 	periodic, dim2, boxL := cl.box.Boundary == Periodic, cl.box.Dim >= 2, cl.box.L
-	for c := range cl.cells {
+	for c := lo; c < hi; c++ {
 		for _, ti := range cl.cells[c] {
 			t := &ps[ti]
 			fx, fy := t.Force.X, t.Force.Y
@@ -296,10 +321,10 @@ func (cl *CellList) forcesRep(ps []Particle, k *Kernel) {
 }
 
 // forcesLJ is the Lennard-Jones counterpart of forcesRep.
-func (cl *CellList) forcesLJ(ps []Particle, k *Kernel) {
+func (cl *CellList) forcesLJ(ps []Particle, k *Kernel, lo, hi int) {
 	e24, sig2, soft2, rc2 := k.e24, k.sig2, k.soft2, k.rc2
 	periodic, dim2, boxL := cl.box.Boundary == Periodic, cl.box.Dim >= 2, cl.box.L
-	for c := range cl.cells {
+	for c := lo; c < hi; c++ {
 		for _, ti := range cl.cells[c] {
 			t := &ps[ti]
 			fx, fy := t.Force.X, t.Force.Y

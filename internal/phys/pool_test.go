@@ -1,0 +1,215 @@
+package phys
+
+import (
+	"testing"
+)
+
+// poolTestSets builds a target/source pair with distinct IDs and a mix
+// of interacting, beyond-cutoff and near-coincident pairs.
+func poolTestSets(nt, ns int) (targets, sources []Particle, box Box) {
+	box = NewBox(3, 2, Periodic)
+	targets = InitUniform(nt, box, 41)
+	sources = InitUniform(ns, box, 42)
+	for i := range sources {
+		sources[i].ID += uint32(nt)
+	}
+	return targets, sources, box
+}
+
+// TestPoolAccumulateBitwiseInvariance: tiling the targets across any
+// worker count must reproduce the inline kernel result bit for bit —
+// the pool never splits a target's source sum, only the target set.
+func TestPoolAccumulateBitwiseInvariance(t *testing.T) {
+	laws := []Law{
+		{Kind: Repulsive, K: 1.3, Softening: 1e-3},
+		{Kind: Repulsive, K: 1.3, Softening: 1e-3, Cutoff: 0.9},
+		LJLaw(0.7, 0.4),
+		LJLaw(0.7, 0.4).WithCutoff(0.9),
+	}
+	// 37 targets: a size the even block partition cannot split evenly,
+	// so uneven tail tiles are exercised.
+	targets, sources, box := poolTestSets(37, 64)
+	for _, law := range laws {
+		kern := law.Kernel()
+		want := append([]Particle(nil), targets...)
+		wantPairs := kern.Accumulate(want, sources)
+		wantIn := append([]Particle(nil), targets...)
+		wantInPairs := kern.AccumulateIn(wantIn, sources, box)
+		for _, w := range []int{2, 3, 4, 8} {
+			pool := NewPool(w)
+			got := append([]Particle(nil), targets...)
+			if pairs := pool.Accumulate(kern, got, sources); pairs != wantPairs {
+				t.Errorf("law %+v w=%d: pair count %d, want %d", law, w, pairs, wantPairs)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("law %+v w=%d: Accumulate target %d = %+v, want %+v", law, w, i, got[i], want[i])
+				}
+			}
+			gotIn := append([]Particle(nil), targets...)
+			if pairs := pool.AccumulateIn(kern, gotIn, sources, box); pairs != wantInPairs {
+				t.Errorf("law %+v w=%d: AccumulateIn pair count %d, want %d", law, w, pairs, wantInPairs)
+			}
+			for i := range gotIn {
+				if gotIn[i] != wantIn[i] {
+					t.Errorf("law %+v w=%d: AccumulateIn target %d diverges", law, w, i)
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestPoolCellForcesBitwiseInvariance: the pooled cell-list path tiles
+// by cells (each particle owns exactly one cell) and must match the
+// inline Forces result bit for bit.
+func TestPoolCellForcesBitwiseInvariance(t *testing.T) {
+	for _, boundary := range []Boundary{Reflective, Periodic} {
+		box := NewBox(3, 2, boundary)
+		ps := InitUniform(200, box, 43)
+		for _, law := range []Law{
+			{Kind: Repulsive, K: 1.3, Softening: 1e-3, Cutoff: 0.9},
+			LJLaw(0.7, 0.4).WithCutoff(0.9),
+		} {
+			cl := NewCellList(ps, law.Cutoff, box)
+			want := append([]Particle(nil), ps...)
+			cl.Forces(want, law)
+			for _, w := range []int{2, 3, 5} {
+				pool := NewPool(w)
+				got := append([]Particle(nil), ps...)
+				cl.ForcesPooled(got, law, pool)
+				pool.Close()
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("boundary %v law %+v w=%d: particle %d = %+v, want %+v",
+							boundary, law, w, i, got[i], want[i])
+					}
+				}
+			}
+			// The nil pool is the inline path.
+			got := append([]Particle(nil), ps...)
+			cl.ForcesPooled(got, law, nil)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("nil pool diverges at particle %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolRun checks the generic tiling hook: the blocks must cover
+// [0, n) exactly once in disjoint contiguous ranges, results sum, and
+// the partition must be a pure function of (n, workers).
+func TestPoolRun(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7} {
+		pool := NewPool(w)
+		for _, n := range []int{0, 1, 5, 64, 97} {
+			covered := make([]int32, n)
+			total := pool.Run(n, func(lo, hi, worker int) int64 {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("w=%d n=%d: bad tile [%d,%d)", w, n, lo, hi)
+				}
+				var sum int64
+				for i := lo; i < hi; i++ {
+					covered[i]++ // each index in exactly one tile: no race
+					sum += int64(i)
+				}
+				return sum
+			})
+			want := int64(n) * int64(n-1) / 2
+			if total != want {
+				t.Errorf("w=%d n=%d: Run total %d, want %d", w, n, total, want)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Errorf("w=%d n=%d: index %d covered %d times", w, n, i, c)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolNilAndLifecycle pins the nil-pool contract and Close
+// semantics.
+func TestPoolNilAndLifecycle(t *testing.T) {
+	if p := NewPool(0); p != nil {
+		t.Error("NewPool(0) should be the nil inline pool")
+	}
+	if p := NewPool(1); p != nil {
+		t.Error("NewPool(1) should be the nil inline pool")
+	}
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Errorf("nil pool Workers = %d, want 1", nilPool.Workers())
+	}
+	if nilPool.LastSpansNs() != nil || nilPool.BusyNs() != nil {
+		t.Error("nil pool should report no spans")
+	}
+	nilPool.Close() // must not panic
+
+	pool := NewPool(3)
+	if pool.Workers() != 3 {
+		t.Errorf("Workers = %d, want 3", pool.Workers())
+	}
+	pool.Run(10, func(lo, hi, _ int) int64 { return 0 })
+	if got := len(pool.LastSpansNs()); got != 3 {
+		t.Errorf("LastSpansNs lanes = %d, want 3", got)
+	}
+	busy := pool.BusyNs()
+	if len(busy) != 3 {
+		t.Errorf("BusyNs lanes = %d, want 3", len(busy))
+	}
+	pool.Close()
+	pool.Close() // idempotent
+}
+
+// TestPoolBusyAccumulates: cumulative busy counters only grow, and the
+// owner lane (worker 0) records real time.
+func TestPoolBusyAccumulates(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	targets, sources, _ := poolTestSets(64, 64)
+	kern := LJLaw(0.7, 0.4).Kernel()
+	pool.Accumulate(kern, targets, sources)
+	first := append([]int64(nil), pool.BusyNs()...)
+	pool.Accumulate(kern, targets, sources)
+	second := pool.BusyNs()
+	for w := range second {
+		if second[w] < first[w] {
+			t.Errorf("worker %d busy went backwards: %d then %d", w, first[w], second[w])
+		}
+	}
+	if second[0] == 0 {
+		t.Error("owner lane recorded no busy time across two batches")
+	}
+}
+
+// TestPoolAllocs: a steady-state pool batch allocates nothing — the
+// descriptor, tile bounds and span buffers are all retained, the kernel
+// is stored by value, and wake/done carry empty structs.
+func TestPoolAllocs(t *testing.T) {
+	targets, sources, box := poolTestSets(128, 128)
+	kern := LJLaw(0.7, 0.4).WithCutoff(0.9).Kernel()
+	cl := NewCellList(targets, 0.9, box)
+	pool := NewPool(4)
+	defer pool.Close()
+	law := LJLaw(0.7, 0.4).WithCutoff(0.9)
+
+	if got := testing.AllocsPerRun(20, func() {
+		pool.Accumulate(kern, targets, sources)
+	}); got != 0 {
+		t.Errorf("pooled Accumulate: %v allocs/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		pool.AccumulateIn(kern, targets, sources, box)
+	}); got != 0 {
+		t.Errorf("pooled AccumulateIn: %v allocs/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		cl.ForcesPooled(targets, law, pool)
+	}); got != 0 {
+		t.Errorf("pooled cell-list Forces: %v allocs/op, want 0", got)
+	}
+}

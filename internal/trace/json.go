@@ -26,6 +26,7 @@ type Summary struct {
 	S                int64          `json:"s_critical_path"`
 	W                int64          `json:"w_critical_path_bytes"`
 	ComputeImbalance float64        `json:"compute_imbalance"`
+	WorkerImbalance  float64        `json:"worker_imbalance"`
 	Phases           []PhaseSummary `json:"phases"`
 }
 
@@ -38,6 +39,7 @@ func (r *Report) Summary() Summary {
 		S:                r.S(),
 		W:                r.W(),
 		ComputeImbalance: r.ComputeImbalance(),
+		WorkerImbalance:  r.WorkerImbalance(),
 	}
 	for _, p := range Phases() {
 		cp := r.CriticalPath[p]

@@ -128,6 +128,11 @@ type Stats struct {
 	guard   guard
 	tracer  *obs.Tracer
 	ByPhase [numPhases]PhaseStats
+	// WorkerCompute accumulates the busy time of each intra-rank force
+	// worker (index = worker id within the rank's pool). Stamped by the
+	// rank goroutine between pool batches — never by the workers — so
+	// the single-goroutine ownership contract holds.
+	WorkerCompute []time.Duration
 }
 
 // NewStats returns a Stats positioned in the Other phase with timing
@@ -181,6 +186,18 @@ func (s *Stats) StopTiming() {
 	}
 }
 
+// AddWorkerCompute charges d of force-pool busy time to intra-rank
+// worker w. Must be called by the owning rank goroutine (the pool
+// records per-worker times internally; the rank stamps them here after
+// each batch or step).
+func (s *Stats) AddWorkerCompute(w int, d time.Duration) {
+	s.guard.check()
+	for len(s.WorkerCompute) <= w {
+		s.WorkerCompute = append(s.WorkerCompute, 0)
+	}
+	s.WorkerCompute[w] += d
+}
+
 // CountMessage attributes one sent message of n payload bytes to the
 // active phase.
 func (s *Stats) CountMessage(n int) {
@@ -232,6 +249,12 @@ type Report struct {
 	CriticalPath [numPhases]PhaseStats
 	// Sum holds, per phase, the totals across all ranks.
 	Sum [numPhases]PhaseStats
+	// Worker-lane aggregates over every rank×worker pair that recorded
+	// force-pool busy time: the slowest lane, the total across lanes,
+	// and the lane count. Zero lanes when no rank used a pool.
+	WorkerMax   time.Duration
+	WorkerSum   time.Duration
+	WorkerLanes int
 }
 
 // Aggregate builds a Report from per-rank Stats.
@@ -241,6 +264,13 @@ func Aggregate(ranks []*Stats) *Report {
 		for i := range s.ByPhase {
 			r.Sum[i].Add(s.ByPhase[i])
 			r.CriticalPath[i].Max(s.ByPhase[i])
+		}
+		for _, d := range s.WorkerCompute {
+			if d > r.WorkerMax {
+				r.WorkerMax = d
+			}
+			r.WorkerSum += d
+			r.WorkerLanes++
 		}
 	}
 	return r
@@ -283,6 +313,19 @@ func (r *Report) Imbalance(p Phase) float64 {
 // ComputeImbalance is Imbalance(Compute), the headline balance metric.
 func (r *Report) ComputeImbalance() float64 { return r.Imbalance(Compute) }
 
+// WorkerImbalance returns the intra-rank force-pool skew: the busiest
+// rank×worker lane divided by the mean lane, over every lane that any
+// rank's pool recorded. It is the hierarchical counterpart of
+// ComputeImbalance — that figure compares ranks, this one compares the
+// workers inside them. 1.0 when balanced or when no pool ran.
+func (r *Report) WorkerImbalance() float64 {
+	if r.WorkerLanes == 0 || r.WorkerSum == 0 {
+		return 1
+	}
+	mean := float64(r.WorkerSum) / float64(r.WorkerLanes)
+	return float64(r.WorkerMax) / mean
+}
+
 // String renders the report as an aligned table of per-phase
 // critical-path numbers, followed by a labeled footer with the paper's
 // headline quantities: the latency cost S, the bandwidth cost W, and
@@ -302,6 +345,7 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "%-37s %12d\n", "S/W  S (critical-path msg events)", r.S())
 	fmt.Fprintf(&b, "%-37s %12d\n", "     W (critical-path bytes)", r.W())
 	fmt.Fprintf(&b, "%-37s %12.3f\n", "     compute imbalance (max/mean)", r.ComputeImbalance())
+	fmt.Fprintf(&b, "%-37s %12.3f\n", "     per-worker imbalance (max/mean)", r.WorkerImbalance())
 	return b.String()
 }
 

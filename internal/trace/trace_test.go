@@ -91,22 +91,57 @@ func TestReportString(t *testing.T) {
 	if strings.Contains(out, "reassign") {
 		t.Errorf("idle phase rendered:\n%s", out)
 	}
-	// The footer labels S and W explicitly and includes the compute
-	// imbalance, each on its own aligned line.
-	for _, want := range []string{"S (critical-path msg events)", "W (critical-path bytes)", "compute imbalance"} {
+	// The footer labels S and W explicitly and includes both imbalance
+	// figures (per-rank compute, per-worker), each on its own aligned
+	// line.
+	for _, want := range []string{"S (critical-path msg events)", "W (critical-path bytes)", "compute imbalance", "per-worker imbalance"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("footer missing %q:\n%s", want, out)
 		}
 	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) < 5 {
+	if len(lines) < 6 {
 		t.Fatalf("report too short:\n%s", out)
 	}
-	if !strings.HasSuffix(lines[len(lines)-3], " 1") { // S = 1 send event
-		t.Errorf("S footer line %q should end with the value 1", lines[len(lines)-3])
+	if !strings.HasSuffix(lines[len(lines)-4], " 1") { // S = 1 send event
+		t.Errorf("S footer line %q should end with the value 1", lines[len(lines)-4])
 	}
-	if !strings.HasSuffix(lines[len(lines)-1], "1.000") { // no timing: neutral imbalance
-		t.Errorf("imbalance footer line %q should end with 1.000", lines[len(lines)-1])
+	if !strings.HasSuffix(lines[len(lines)-2], "1.000") { // no timing: neutral imbalance
+		t.Errorf("imbalance footer line %q should end with 1.000", lines[len(lines)-2])
+	}
+	if !strings.HasSuffix(lines[len(lines)-1], "1.000") { // no pool ran: neutral worker imbalance
+		t.Errorf("worker imbalance footer line %q should end with 1.000", lines[len(lines)-1])
+	}
+}
+
+// TestWorkerImbalance checks the rank×worker lane aggregation: lanes
+// from every rank pool into one max/mean figure, zero-lane reports stay
+// neutral, and the summary JSON carries the value.
+func TestWorkerImbalance(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.AddWorkerCompute(0, 3*time.Second)
+	a.AddWorkerCompute(1, time.Second)
+	b.AddWorkerCompute(0, 2*time.Second)
+	b.AddWorkerCompute(1, 2*time.Second)
+	r := Aggregate([]*Stats{a, b})
+	// max 3s over mean (3+1+2+2)/4 = 2s.
+	if got := r.WorkerImbalance(); got != 1.5 {
+		t.Errorf("worker imbalance = %g, want 1.5", got)
+	}
+	if r.WorkerLanes != 4 {
+		t.Errorf("worker lanes = %d, want 4", r.WorkerLanes)
+	}
+	if got := r.Summary().WorkerImbalance; got != 1.5 {
+		t.Errorf("summary worker imbalance = %g, want 1.5", got)
+	}
+	// Repeated stamping accumulates per lane.
+	a.AddWorkerCompute(1, 2*time.Second)
+	if a.WorkerCompute[1] != 3*time.Second {
+		t.Errorf("lane accumulation = %v", a.WorkerCompute[1])
+	}
+	// No pool ran: neutral figure.
+	if got := Aggregate([]*Stats{NewStats()}).WorkerImbalance(); got != 1 {
+		t.Errorf("poolless worker imbalance = %g, want 1", got)
 	}
 }
 
