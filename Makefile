@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obsdebug benchguard benchsmoke bench
+.PHONY: check build vet test race obsdebug benchguard benchsmoke httpsmoke bench
 
-check: build vet test race obsdebug benchguard benchsmoke
+check: build vet test race obsdebug benchguard benchsmoke httpsmoke
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,10 @@ race:
 
 # obsdebug builds enforce the Stats single-goroutine ownership contract
 # (pool workers never touch Stats; only the rank goroutine stamps).
+# internal/obs rides along so the live hub's mid-run serving is also
+# exercised under the debug assertions.
 obsdebug:
-	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/... ./internal/phys/...
+	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/... ./internal/phys/... ./internal/obs/...
 
 # Benchmark guard: the disabled observability path must not allocate
 # (asserted by TestDisabledPathAllocs) and the benchmark must run clean.
@@ -45,6 +47,13 @@ benchguard:
 # bitwise-identical to workers=1 with unchanged S/W.
 benchsmoke:
 	$(GO) run ./cmd/bench -smoke
+
+# Live-telemetry smoke gate: run an observed simulation with the HTTP
+# hub serving, scrape /metrics, /trace and /snapshot.json mid-run (all
+# must stay well-formed), and check the final communication matrix
+# conserves the report's per-phase traffic bitwise.
+httpsmoke:
+	$(GO) run ./cmd/bench -httpsmoke
 
 # Full benchmark report: kernel microbenchmarks (generic vs specialized,
 # pooled worker widths), speedups, end-to-end per-step wall times, the

@@ -42,14 +42,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/phys"
 	"repro/internal/trace"
 )
@@ -133,10 +138,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out   = flag.String("o", "BENCH_PR4.json", "output path for the JSON report")
-		smoke = flag.Bool("smoke", false, "run only the smoke gates (LJ-cutoff kernel, typed transport)")
+		out       = flag.String("o", "BENCH_PR4.json", "output path for the JSON report")
+		smoke     = flag.Bool("smoke", false, "run only the smoke gates (LJ-cutoff kernel, typed transport)")
+		httpSmoke = flag.Bool("httpsmoke", false, "run only the live-telemetry smoke gate (mid-run scrapes, matrix conservation)")
 	)
 	flag.Parse()
+
+	if *httpSmoke {
+		checkHTTPSmoke()
+		fmt.Println("ok")
+		return
+	}
 
 	box := phys.NewBox(3, 2, phys.Periodic)
 	targets := phys.InitUniform(256, box, 1)
@@ -548,6 +560,130 @@ func checkWorkerInvariance() {
 		}
 	}
 	fmt.Println("worker invariance: final states bitwise-identical, S/W unchanged (allpairs, cutoff, midpoint)")
+}
+
+// checkHTTPSmoke gates the live telemetry hub: it runs an observed
+// all-pairs simulation with the hub serving, scrapes /metrics and
+// /trace while the run is in flight (both must stay well-formed
+// mid-run), then checks the final /matrix.json conserves traffic
+// exactly — per phase, the summed send cells must equal the report's
+// summed sent messages/bytes and the recv cells its received
+// messages/bytes, bitwise.
+func checkHTTPSmoke() {
+	const n, p, c, steps = 256, 4, 2, 40
+	o := obs.NewObserver(p, 0)
+	o.Timeline.SetPhaseNames(trace.PhaseNames())
+	o.EnsureMatrix(len(trace.PhaseNames()), p)
+	hub := live.New(o)
+	addr, err := hub.Start("localhost:0")
+	if err != nil {
+		log.Fatalf("FAIL: httpsmoke: %v", err)
+	}
+	defer hub.Close()
+	base := "http://" + addr
+
+	pr := core.Params{
+		P: p, C: c, Law: phys.DefaultLaw(),
+		Box: phys.NewBox(10, 2, phys.Reflective), DT: 1e-3, Steps: steps,
+	}
+	pr.Options.Observe = o
+	ps := phys.InitUniform(n, pr.Box, 31)
+
+	type runResult struct {
+		rep *trace.Report
+		err error
+	}
+	done := make(chan runResult, 1)
+	go func() {
+		_, rep, err := core.AllPairs(ps, pr)
+		done <- runResult{rep, err}
+	}()
+
+	// Mid-run scrapes: every response must be well-formed while the
+	// ranks are still exchanging. The loop polls until the run finishes,
+	// so at least the final iteration always executes.
+	scrape := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatalf("FAIL: httpsmoke GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatalf("FAIL: httpsmoke GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+	checkOnce := func() {
+		metrics := scrape("/metrics")
+		if !strings.Contains(metrics, "# TYPE") {
+			log.Fatalf("FAIL: httpsmoke /metrics has no exposition lines:\n%s", metrics)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal([]byte(scrape("/trace")), &doc); err != nil {
+			log.Fatalf("FAIL: httpsmoke /trace is not valid Chrome-trace JSON: %v", err)
+		}
+		var snap map[string]any
+		if err := json.Unmarshal([]byte(scrape("/snapshot.json")), &snap); err != nil {
+			log.Fatalf("FAIL: httpsmoke /snapshot.json: %v", err)
+		}
+	}
+	var rr runResult
+	scrapes := 0
+poll:
+	for {
+		select {
+		case rr = <-done:
+			break poll
+		default:
+			checkOnce()
+			scrapes++
+		}
+	}
+	if rr.err != nil {
+		log.Fatalf("FAIL: httpsmoke run: %v", rr.err)
+	}
+	checkOnce() // final state must scrape cleanly too
+
+	finalMetrics := scrape("/metrics")
+	for _, want := range []string{"comm_s_measured", "comm_s_lowerbound", "comm_w_measured", "comm_w_lowerbound"} {
+		if !strings.Contains(finalMetrics, want) {
+			log.Fatalf("FAIL: httpsmoke /metrics missing %s", want)
+		}
+	}
+
+	var mat obs.MatrixSnapshot
+	if err := json.Unmarshal([]byte(scrape("/matrix.json")), &mat); err != nil {
+		log.Fatalf("FAIL: httpsmoke /matrix.json: %v", err)
+	}
+	sum2 := func(cells [][]int64) int64 {
+		var t int64
+		for _, row := range cells {
+			for _, v := range row {
+				t += v
+			}
+		}
+		return t
+	}
+	for _, ph := range mat.Phases {
+		want := rr.rep.Sum[trace.Phase(ph.Phase)]
+		if got := sum2(ph.SentMsgs); got != want.Messages {
+			log.Fatalf("FAIL: httpsmoke matrix %s sent msgs %d != report %d", ph.Name, got, want.Messages)
+		}
+		if got := sum2(ph.SentBytes); got != want.Bytes {
+			log.Fatalf("FAIL: httpsmoke matrix %s sent bytes %d != report %d", ph.Name, got, want.Bytes)
+		}
+		if got := sum2(ph.RecvMsgs); got != want.RecvMessages {
+			log.Fatalf("FAIL: httpsmoke matrix %s recv msgs %d != report %d", ph.Name, got, want.RecvMessages)
+		}
+		if got := sum2(ph.RecvBytes); got != want.RecvBytes {
+			log.Fatalf("FAIL: httpsmoke matrix %s recv bytes %d != report %d", ph.Name, got, want.RecvBytes)
+		}
+	}
+	fmt.Printf("live telemetry: %d mid-run scrapes well-formed, matrix conserves report traffic across %d phases\n",
+		scrapes, len(mat.Phases))
 }
 
 // sameComm reports whether two runs produced identical per-phase

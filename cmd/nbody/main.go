@@ -49,6 +49,8 @@ func main() {
 		traceCap    = flag.Int("trace-events", 0, "per-rank event ring capacity (0 = default 65536)")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file (flushed every second during the run)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		httpAddr    = flag.String("http", "", "serve the live telemetry hub on this address (e.g. localhost:8080): /metrics, /snapshot.json, /trace, /matrix.json, /debug/pprof")
+		matrixOut   = flag.Bool("matrix", false, "print the per-phase src x dst communication matrix after the run")
 	)
 	flag.Parse()
 
@@ -58,7 +60,7 @@ func main() {
 		}()
 		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
 	}
-	observing := *traceOut != "" || *traceJSONL != "" || *metricsOut != ""
+	observing := *traceOut != "" || *traceJSONL != "" || *metricsOut != "" || *httpAddr != "" || *matrixOut
 
 	cfg := nbody.Config{
 		N: *n, P: *p, C: *c, Workers: *workers, Dim: *dim, Cutoff: *cutoff,
@@ -126,6 +128,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *httpAddr != "" {
+		hub, bound, err := sim.ServeLive(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer hub.Close()
+		fmt.Printf("live telemetry on http://%s/ (metrics, snapshot.json, trace, matrix.json, debug/pprof)\n", bound)
 	}
 
 	var traj *nbody.TrajectoryWriter
@@ -206,6 +217,11 @@ func main() {
 		cfg.Algorithm, cfg.P, cfg.C, cfg.N, *steps, cfg.Dim, cfg.Cutoff)
 	fmt.Printf("wall time: %v (%v/step)\n\n", elapsed, elapsed/time.Duration(max(1, *steps)))
 	fmt.Print(sim.Report())
+
+	if *matrixOut {
+		fmt.Println()
+		fmt.Print(sim.CommMatrix().Table())
+	}
 
 	if stopFlush != nil {
 		close(stopFlush)

@@ -31,18 +31,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		n        = flag.Int("n", 2048, "number of particles")
-		p        = flag.Int("p", 64, "number of ranks")
-		dim      = flag.Int("dim", 2, "spatial dimension")
-		cutoff   = flag.Float64("cutoff", 0, "cutoff radius (0 = all pairs)")
-		steps    = flag.Int("steps", 5, "timesteps per configuration")
-		workers  = flag.Int("workers", 0, "intra-rank force workers per rank (0 = spread GOMAXPROCS over ranks)")
+		n          = flag.Int("n", 2048, "number of particles")
+		p          = flag.Int("p", 64, "number of ranks")
+		dim        = flag.Int("dim", 2, "spatial dimension")
+		cutoff     = flag.Float64("cutoff", 0, "cutoff radius (0 = all pairs)")
+		steps      = flag.Int("steps", 5, "timesteps per configuration")
+		workers    = flag.Int("workers", 0, "intra-rank force workers per rank (0 = spread GOMAXPROCS over ranks)")
 		csFlag     = flag.String("cs", "1,2,4,8", "comma-separated replication factors")
 		autotune   = flag.Bool("autotune", false, "pick c automatically instead of sweeping")
 		autotuneW  = flag.Bool("autotune-workers", false, "pick the worker-pool width automatically instead of sweeping")
 		traceOut   = flag.String("trace-out", "", "write one Chrome trace per configuration, with .c<N> inserted before the extension")
 		metricsOut = flag.String("metrics-out", "", "write one metrics snapshot per configuration, with .c<N> inserted before the extension")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		httpAddr   = flag.String("http", "", "serve the live telemetry hub on this address; the hub re-attaches to each configuration as the sweep progresses")
 	)
 	flag.Parse()
 
@@ -54,8 +55,22 @@ func main() {
 	}
 
 	cfg := nbody.Config{N: *n, P: *p, Workers: *workers, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0}
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *httpAddr != "" {
 		cfg.Observe = &nbody.ObserveOptions{}
+	}
+
+	// One hub outlives the whole sweep; each configuration's simulation
+	// attaches its observer before running, so a scraper watching the
+	// address sees every run in turn.
+	var hub *nbody.LiveServer
+	if *httpAddr != "" {
+		hub = nbody.NewLiveHub()
+		bound, err := hub.Start(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer hub.Close()
+		fmt.Printf("live telemetry on http://%s/\n", bound)
 	}
 
 	if *autotuneW {
@@ -111,6 +126,11 @@ func main() {
 		if err != nil {
 			fmt.Printf("c=%-4d infeasible: %v\n", c, err)
 			continue
+		}
+		if hub != nil {
+			if err := sim.AttachLive(hub); err != nil {
+				log.Fatalf("c=%d: %v", c, err)
+			}
 		}
 		start := time.Now()
 		if err := sim.Run(*steps); err != nil {

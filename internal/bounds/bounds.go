@@ -88,6 +88,29 @@ func KForSpan(n, p, c, m int) float64 {
 	return 2 * float64(m) * float64(c) / float64(p) * float64(n)
 }
 
+// UniformNeighbors returns k, the expected interactions per particle
+// under a cutoff rc in a periodic box of side boxL with n uniformly
+// distributed particles: the fraction of the domain within the cutoff
+// (2·rc/L in 1D, π·rc²/L² in 2D), clamped to 1, times n. This is the
+// k that instantiates Equation 3 for a given physical configuration,
+// independent of the decomposition.
+func UniformNeighbors(n, dim int, rc, boxL float64) float64 {
+	if rc <= 0 || boxL <= 0 || n <= 0 {
+		return 0
+	}
+	var frac float64
+	switch dim {
+	case 1:
+		frac = 2 * rc / boxL
+	default:
+		frac = math.Pi * rc * rc / (boxL * boxL)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac * float64(n)
+}
+
 // OptimalityRatio returns achieved/lower-bound, i.e. how far a measured
 // cost is above its lower bound. Ratios are ≥ 1 for correct algorithms
 // and O(1) for communication-optimal ones.

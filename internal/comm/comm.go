@@ -136,17 +136,19 @@ func (c *Comm) sendMsg(to, tag int, m message) {
 	if to == c.rank {
 		panic("comm: self-send (use local copies instead)")
 	}
-	box := c.rt.boxes[c.group[to]][c.group[c.rank]]
-	c.cm.countSend(m.wire, len(box))
+	src, dst := c.group[c.rank], c.group[to]
+	box := c.rt.boxes[dst][src]
+	c.cm.countSend(int(c.stats.Phase()), src, dst, m.wire, len(box))
 	m.comm = c.id
 	m.tag = tag
+	m.seq = c.rt.nextSeq(src, dst)
 	select {
 	case box <- m:
 	case <-c.rt.abort:
 		panic(errAborted{})
 	}
 	c.stats.CountMessage(m.wire)
-	c.tr.Send(c.group[to], tag, m.wire)
+	c.tr.Send(dst, tag, m.wire, m.seq)
 }
 
 // Recv blocks until the next message from rank `from` of this
@@ -174,8 +176,8 @@ func (c *Comm) recvMsg(from, tag int) message {
 				c.rank, c.id, tag, from, m.comm, m.tag))
 		}
 		c.stats.CountRecv(m.wire)
-		c.tr.Recv(t0, c.group[from], tag, m.wire)
-		c.cm.countRecv(m.wire)
+		c.tr.Recv(t0, c.group[from], tag, m.wire, m.seq)
+		c.cm.countRecv(int(c.stats.Phase()), c.group[from], c.group[c.rank], m.wire)
 		return m
 	case <-c.rt.abort:
 		panic(errAborted{})

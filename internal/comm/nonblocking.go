@@ -53,9 +53,10 @@ func (c *Comm) isendMsg(to, tag int, m message) *Request {
 	box := c.rt.boxes[dst][src]
 	m.comm = c.id
 	m.tag = tag
+	m.seq = c.rt.nextSeq(src, dst)
 	c.stats.CountMessage(m.wire)
-	c.tr.Send(dst, tag, m.wire)
-	c.cm.countSend(m.wire, len(box))
+	c.tr.Send(dst, tag, m.wire, m.seq)
+	c.cm.countSend(int(c.stats.Phase()), src, dst, m.wire, len(box))
 
 	// An earlier overflow send to the same destination that is still in
 	// flight forbids the fast path: delivering inline would reorder the

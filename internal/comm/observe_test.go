@@ -142,7 +142,7 @@ func TestUnobservedRunUnchanged(t *testing.T) {
 		if c.Tracer() != nil {
 			return nil // tracer must be nil; checked below via panic-free no-ops
 		}
-		c.Tracer().Send(0, 0, 0) // nil tracer: must be a no-op
+		c.Tracer().Send(0, 0, 0, 0) // nil tracer: must be a no-op
 		c.Metrics().Counter("x").Inc()
 		c.SetPhase(trace.Shift)
 		if c.Rank() == 0 {

@@ -61,6 +61,12 @@ type message struct {
 	tag  int
 	kind payloadKind
 	wire int
+	// seq is the 1-based per-(src,dst) world-rank sequence number stamped
+	// at send time; the per-pair FIFO mailboxes deliver it in order, so
+	// the receiving endpoint observes the same number. The timeline's
+	// flow events bind send to recv through it. 0 never occurs on a
+	// delivered message.
+	seq  uint64
 	data []byte
 	ps   []phys.Particle
 	f64s []float64
@@ -110,6 +116,10 @@ type Runtime struct {
 	// preserved even past mailbox capacity. Accessed only by src's
 	// goroutine.
 	sendTail [][]*Request
+	// seqs[src][dst] is the per-pair message sequence counter backing
+	// message.seq. Like sendTail, each row is written only by src's
+	// goroutine, so plain (non-atomic) increments are race-free.
+	seqs [][]uint64
 }
 
 // NewRuntime prepares mailboxes for size ranks.
@@ -131,10 +141,19 @@ func NewRuntime(size int) *Runtime {
 		rt.stats[d] = trace.NewStats()
 	}
 	rt.sendTail = make([][]*Request, size)
+	rt.seqs = make([][]uint64, size)
 	for s := range rt.sendTail {
 		rt.sendTail[s] = make([]*Request, size)
+		rt.seqs[s] = make([]uint64, size)
 	}
 	return rt
+}
+
+// nextSeq advances and returns the src→dst sequence counter. Must be
+// called by src's goroutine (it is, from sendMsg/isendMsg).
+func (rt *Runtime) nextSeq(src, dst int) uint64 {
+	rt.seqs[src][dst]++
+	return rt.seqs[src][dst]
 }
 
 // Stats returns the per-rank accounting records. Call after Run returns.
@@ -171,7 +190,7 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 	var cm *commMetrics
 	if o := opts.Observe; o != nil {
 		o.Timeline.SetPhaseNamesIfUnset(trace.PhaseNames())
-		cm = newCommMetrics(o.Metrics)
+		cm = newCommMetrics(o.Metrics, o.EnsureMatrix(len(trace.PhaseNames()), size))
 	}
 	var wg sync.WaitGroup
 	wg.Add(size)
@@ -209,9 +228,17 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 		}(world)
 	}
 	wg.Wait()
+	rep := rt.Report()
+	if o := opts.Observe; o != nil {
+		// Stamp ring-wraparound losses on the report and as a gauge, so a
+		// truncated timeline is never silently misread as a complete run.
+		dropped := o.Timeline.Dropped()
+		rep.TimelineDropped = dropped
+		o.Metrics.Gauge("timeline.dropped").Set(dropped)
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.Report(), rt.err
+	return rep, rt.err
 }
 
 // commMetrics holds the substrate's pre-resolved registry instruments,
@@ -225,10 +252,11 @@ type commMetrics struct {
 	recvBytes *obs.Counter
 	msgBytes  *obs.Histogram // payload size distribution of sends
 	mailbox   *obs.Histogram // destination mailbox depth seen by sends
+	matrix    *obs.CommMatrix
 }
 
-func newCommMetrics(reg *obs.Registry) *commMetrics {
-	if reg == nil {
+func newCommMetrics(reg *obs.Registry, matrix *obs.CommMatrix) *commMetrics {
+	if reg == nil && matrix == nil {
 		return nil
 	}
 	return &commMetrics{
@@ -238,11 +266,13 @@ func newCommMetrics(reg *obs.Registry) *commMetrics {
 		recvBytes: reg.Counter("comm.recv.bytes"),
 		msgBytes:  reg.Histogram("comm.msg.bytes"),
 		mailbox:   reg.Histogram("comm.mailbox.depth"),
+		matrix:    matrix,
 	}
 }
 
-// countSend records one sent message in the registry instruments.
-func (m *commMetrics) countSend(bytes, boxDepth int) {
+// countSend records one src→dst world-rank message in the registry
+// instruments and the communication matrix, under the sender's phase.
+func (m *commMetrics) countSend(phase, src, dst, bytes, boxDepth int) {
 	if m == nil {
 		return
 	}
@@ -250,15 +280,19 @@ func (m *commMetrics) countSend(bytes, boxDepth int) {
 	m.sentBytes.Add(int64(bytes))
 	m.msgBytes.Observe(int64(bytes))
 	m.mailbox.Observe(int64(boxDepth))
+	m.matrix.CountSend(phase, src, dst, bytes)
 }
 
-// countRecv records one received message in the registry instruments.
-func (m *commMetrics) countRecv(bytes int) {
+// countRecv records one received src→dst world-rank message in the
+// registry instruments and the matrix, under the receiver's phase
+// (which may differ from the phase the send was stamped under).
+func (m *commMetrics) countRecv(phase, src, dst, bytes int) {
 	if m == nil {
 		return
 	}
 	m.recvMsgs.Inc()
 	m.recvBytes.Add(int64(bytes))
+	m.matrix.CountRecv(phase, src, dst, bytes)
 }
 
 func identity(n int) []int {

@@ -37,6 +37,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 	}
 	npt := n / T                   // particles per team
 	shifts := pr.P / (pr.C * pr.C) // shift steps per timestep
+	perS, perW := directBounds(n, pr)
 
 	// results[t] is written only by the leader of team t.
 	results := make([][]phys.Particle, T)
@@ -73,6 +74,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 		stepsDone := mx.Counter("step.count")
 		pairEvals := mx.Counter("compute.pairs")
 		observed := mx != nil
+		probe := newStepProbe(world, perS, perW)
 
 		// Per-rank fast-path state, built once: the law is compiled to a
 		// specialized kernel (kind/cutoff/softening resolved outside the
@@ -171,6 +173,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 			}
 			st.SetPhase(trace.Other)
 			po.stampStep()
+			probe.stampStep()
 			if observed {
 				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
 				if rank == 0 {
@@ -185,6 +188,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 		}
 		return nil
 	})
+	stampReport(report, perS, perW, pr.Steps)
 	if err != nil {
 		return nil, report, err
 	}

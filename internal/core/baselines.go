@@ -47,11 +47,13 @@ func NaiveAllGather(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Repo
 	}
 	npr := n / pr.P
 	results := make([][]phys.Particle, pr.P)
+	perS, perW := directBounds(n, pr)
 
 	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
 		rank := world.Rank()
 		st := world.Stats()
 		mine := append([]phys.Particle(nil), ps[rank*npr:(rank+1)*npr]...)
+		probe := newStepProbe(world, perS, perW)
 
 		st.StartTiming()
 		defer st.StopTiming()
@@ -69,10 +71,12 @@ func NaiveAllGather(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Repo
 			}
 			phys.Step(mine, pr.Box, pr.DT)
 			st.SetPhase(trace.Other)
+			probe.stampStep()
 		}
 		results[rank] = mine
 		return nil
 	})
+	stampReport(report, perS, perW, pr.Steps)
 	if err != nil {
 		return nil, report, err
 	}

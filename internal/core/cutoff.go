@@ -64,6 +64,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 	wrap := pr.Box.Boundary == phys.Periodic
 	dirs := migrationDirs(pr.Box.Dim)
 	results := make([][]phys.Particle, T)
+	perS, perW := cutoffBounds(n, pr)
 
 	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
 		rank := world.Rank()
@@ -105,6 +106,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		stepsDone := mx.Counter("step.count")
 		pairEvals := mx.Counter("compute.pairs")
 		observed := mx != nil
+		probe := newStepProbe(world, perS, perW)
 
 		// Per-rank fast-path state, built once per run: specialized
 		// kernel, the transport's retained buffers (see transport.go
@@ -220,6 +222,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 			}
 			st.SetPhase(trace.Other)
 			po.stampStep()
+			probe.stampStep()
 			if observed {
 				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
 				if rank == 0 {
@@ -234,6 +237,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		}
 		return nil
 	})
+	stampReport(report, perS, perW, pr.Steps)
 	if err != nil {
 		return nil, report, err
 	}

@@ -72,6 +72,7 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 	}
 	dirs := migrationDirs(dim)
 	results := make([][]phys.Particle, T)
+	perS, perW := cutoffBounds(n, pr)
 
 	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
 		me := world.Rank()
@@ -80,6 +81,7 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 		pool := phys.NewPool(pr.WorkersPerRank())
 		defer pool.Close()
 		po := newPoolObs(pool, st, world.Metrics())
+		probe := newStepProbe(world, perS, perW)
 		var mine []phys.Particle
 		for i := range ps {
 			if teamOfPos(ps[i].Pos, pr.Box, tg) == me {
@@ -229,10 +231,12 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 			mine = migrated
 			st.SetPhase(trace.Other)
 			po.stampStep()
+			probe.stampStep()
 		}
 		results[me] = mine
 		return nil
 	})
+	stampReport(report, perS, perW, pr.Steps)
 	if err != nil {
 		return nil, report, err
 	}

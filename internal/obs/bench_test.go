@@ -16,7 +16,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Send(1, 2, 3)
+		tr.Send(1, 2, 3, 0)
 		tr.Phase(0)
 		ctr.Inc()
 		h.Observe(int64(i))
@@ -31,7 +31,7 @@ func BenchmarkObsEnabled(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Send(1, 2, 3)
+		tr.Send(1, 2, 3, 0)
 	}
 }
 

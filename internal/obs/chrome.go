@@ -20,14 +20,32 @@ type chromeEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"` // flow id (ph "s"/"f")
+	BP    string         `json:"bp,omitempty"` // flow binding point ("e" = enclosing slice)
 	Args  map[string]any `json:"args,omitempty"`
+}
+
+// flowID names the flow binding one send to its matching receive. The
+// comm substrate stamps both endpoints of a message with the same
+// per-(src,dst) sequence number, so (src, dst, tag, seq) identifies the
+// message globally: the send event knows src = its own rank and
+// dst = Peer, the recv event the reverse.
+func flowID(src, dst int32, tag int32, seq uint64) string {
+	return fmt.Sprintf("%d.%d.%d.%d", src, dst, tag, seq)
 }
 
 // WriteChromeTrace serializes the timeline as Chrome trace-event JSON:
 // one pid per rank (named "rank N"), phase and collective spans as
 // complete ("X") events, sends as instant ("i") events, receives as
-// spans covering the blocked wait. Load the file in Perfetto
-// (ui.perfetto.dev) or chrome://tracing.
+// spans covering the blocked wait. Sequenced sends and receives
+// additionally emit flow events (ph "s"/"f") sharing a
+// (src, dst, tag, seq) id, so Perfetto draws an arrow from each send to
+// the recv span that consumed the message — the skew and shift
+// structure of the CA algorithms becomes directly visible across rank
+// rows. Safe to call while ranks are still recording (the live hub's
+// /trace endpoint does); the export is then a consistent prefix of each
+// rank's ring. Load the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
 func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
@@ -59,6 +77,11 @@ func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
 			if err := emit(tl.chrome(r, ev)); err != nil {
 				return err
 			}
+			if fe, ok := flowEvent(r, ev); ok {
+				if err := emit(fe); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
@@ -86,13 +109,13 @@ func (tl *Timeline) chrome(rank int, ev Event) chromeEvent {
 		ce.Ph = "i"
 		ce.Scope = "t"
 		ce.Dur = 0
-		ce.Args = map[string]any{"peer": ev.Peer, "tag": ev.Tag, "bytes": ev.Bytes}
+		ce.Args = map[string]any{"peer": ev.Peer, "tag": ev.Tag, "bytes": ev.Bytes, "seq": ev.Seq}
 	case KindRecv:
 		ce.Name = "recv"
 		ce.Cat = "msg"
 		ce.Ph = "X"
 		ce.Tid = 1 // separate track so waits don't occlude phase spans
-		ce.Args = map[string]any{"peer": ev.Peer, "tag": ev.Tag, "bytes": ev.Bytes}
+		ce.Args = map[string]any{"peer": ev.Peer, "tag": ev.Tag, "bytes": ev.Bytes, "seq": ev.Seq}
 	case KindWorker:
 		ce.Name = fmt.Sprintf("worker %d", ev.Peer)
 		ce.Cat = "worker"
@@ -111,6 +134,41 @@ func (tl *Timeline) chrome(rank int, ev Event) chromeEvent {
 	return ce
 }
 
+// flowEvent derives the flow endpoint of a sequenced send or receive.
+// The send side opens the flow (ph "s") at the send instant on the
+// rank's phase track; the recv side terminates it (ph "f", binding
+// point "e") just inside the recv span on the msg track, so the arrow
+// lands on the span that consumed the message. Both sides must agree on
+// name, cat and id for the viewer to connect them.
+func flowEvent(rank int, ev Event) (chromeEvent, bool) {
+	if ev.Seq == 0 {
+		return chromeEvent{}, false
+	}
+	switch ev.Kind {
+	case KindSend:
+		return chromeEvent{
+			Name: "msg", Cat: "msgflow", Ph: "s",
+			Ts:  float64(ev.Start) / 1e3,
+			Pid: rank, Tid: 0,
+			ID: flowID(int32(rank), ev.Peer, ev.Tag, ev.Seq),
+		}, true
+	case KindRecv:
+		// End just inside the span: a binding point of "e" attaches the
+		// arrowhead to the slice enclosing this timestamp.
+		ts := ev.End()
+		if ev.Dur > 0 {
+			ts--
+		}
+		return chromeEvent{
+			Name: "msg", Cat: "msgflow", Ph: "f", BP: "e",
+			Ts:  float64(ts) / 1e3,
+			Pid: rank, Tid: 1,
+			ID: flowID(ev.Peer, int32(rank), ev.Tag, ev.Seq),
+		}, true
+	}
+	return chromeEvent{}, false
+}
+
 // jsonlEvent is the JSONL export record: self-describing field names,
 // one event per line, rank-major order.
 type jsonlEvent struct {
@@ -122,6 +180,7 @@ type jsonlEvent struct {
 	Peer    int32  `json:"peer,omitempty"`
 	Tag     int32  `json:"tag,omitempty"`
 	Bytes   int64  `json:"bytes,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
 }
 
 // WriteJSONL serializes the timeline as JSON lines for ad-hoc tooling
@@ -140,6 +199,7 @@ func (tl *Timeline) WriteJSONL(w io.Writer) error {
 				Peer:    ev.Peer,
 				Tag:     ev.Tag,
 				Bytes:   ev.Bytes,
+				Seq:     ev.Seq,
 			}
 			if err := enc.Encode(rec); err != nil {
 				return err

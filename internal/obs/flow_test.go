@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+type flowDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Pid  int     `json:"pid"`
+		ID   string  `json:"id"`
+		BP   string  `json:"bp"`
+	} `json:"traceEvents"`
+}
+
+// TestChromeFlowEvents checks that a sequenced send/recv pair exports a
+// flow-open ("s") on the sender and a flow-finish ("f") on the receiver
+// sharing the same id, while unsequenced events export none.
+func TestChromeFlowEvents(t *testing.T) {
+	tl := NewTimeline(2, 16)
+	s := tl.Rank(0)
+	r := tl.Rank(1)
+	s.Phase(0)
+	s.Send(1, 3, 128, 7)
+	r.Phase(0)
+	r.Recv(r.Now(), 0, 3, 128, 7)
+	s.Send(1, 3, 64, 0) // unsequenced: no flow pair
+	s.Close()
+	r.Close()
+
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc flowDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+
+	wantID := "0.1.3.7"
+	var opens, finishes int
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat != "msgflow" {
+			continue
+		}
+		if ev.ID != wantID {
+			t.Errorf("flow event with id %q, want only %q", ev.ID, wantID)
+		}
+		switch ev.Ph {
+		case "s":
+			opens++
+			if ev.Pid != 0 {
+				t.Errorf("flow open on pid %d, want sender 0", ev.Pid)
+			}
+		case "f":
+			finishes++
+			if ev.Pid != 1 {
+				t.Errorf("flow finish on pid %d, want receiver 1", ev.Pid)
+			}
+			if ev.BP != "e" {
+				t.Errorf("flow finish bp %q, want enclosing-slice binding \"e\"", ev.BP)
+			}
+		default:
+			t.Errorf("unexpected flow phase %q", ev.Ph)
+		}
+	}
+	if opens != 1 || finishes != 1 {
+		t.Errorf("got %d flow opens and %d finishes, want exactly 1 of each", opens, finishes)
+	}
+}
+
+// TestFlowFinishInsideRecvSpan checks the finish timestamp lands
+// strictly inside its recv span, so Perfetto's "e" binding attaches the
+// arrowhead to the consuming slice rather than the one after it.
+func TestFlowFinishInsideRecvSpan(t *testing.T) {
+	tl := NewTimeline(1, 16)
+	tr := tl.Rank(0)
+	start := tr.Now()
+	tr.Recv(start, 0, 1, 32, 9)
+	tr.Close()
+
+	events := tl.Events(0)
+	var recv Event
+	for _, ev := range events {
+		if ev.Kind == KindRecv {
+			recv = ev
+		}
+	}
+	fe, ok := flowEvent(0, recv)
+	if !ok {
+		t.Fatal("sequenced recv produced no flow event")
+	}
+	tsNs := fe.Ts * 1e3
+	if tsNs < float64(recv.Start) || tsNs >= float64(recv.End()) {
+		t.Errorf("finish ts %.0fns outside recv span [%d, %d)", tsNs, recv.Start, recv.End())
+	}
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// CommMatrix accumulates per-(phase, src, dst) traffic: how many
+// messages and payload bytes each world rank sent to each other rank,
+// broken down by the sender's (for sends) or receiver's (for receives)
+// active phase. The storage is a fixed phases×p×p block of atomics, so
+// the comm substrate can stamp every message with two atomic adds and
+// the live hub can snapshot the matrix mid-run without any coordination
+// with the rank goroutines.
+//
+// The matrix is pure *additional* instrumentation: the S/W accounting
+// of trace.Stats is untouched by it, and the conservation tests pin the
+// matrix totals to the PhaseStats counters bitwise.
+type CommMatrix struct {
+	phases, ranks int
+	cells         []matrixCell // [phase][src][dst], flattened
+}
+
+// matrixCell holds one (phase, src, dst) entry. Send counts are stamped
+// by the sender under its phase; recv counts by the receiver under its
+// phase — the two sides of one message may land in different phases
+// (e.g. a send posted in Shift consumed by a rank still labelled Skew),
+// which is why both directions are kept.
+type matrixCell struct {
+	sentMsgs  atomic.Int64
+	sentBytes atomic.Int64
+	recvMsgs  atomic.Int64
+	recvBytes atomic.Int64
+}
+
+// NewCommMatrix returns a matrix for the given phase and rank counts.
+func NewCommMatrix(phases, ranks int) *CommMatrix {
+	if phases < 1 {
+		phases = 1
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	return &CommMatrix{
+		phases: phases,
+		ranks:  ranks,
+		cells:  make([]matrixCell, phases*ranks*ranks),
+	}
+}
+
+// Ranks returns the rank dimension (0 on nil).
+func (m *CommMatrix) Ranks() int {
+	if m == nil {
+		return 0
+	}
+	return m.ranks
+}
+
+// Phases returns the phase dimension (0 on nil).
+func (m *CommMatrix) Phases() int {
+	if m == nil {
+		return 0
+	}
+	return m.phases
+}
+
+// cell returns the addressed cell, or nil when m is nil or any index is
+// out of range (out-of-range traffic is dropped rather than panicking:
+// the matrix is observability, not accounting).
+func (m *CommMatrix) cell(phase, src, dst int) *matrixCell {
+	if m == nil || phase < 0 || phase >= m.phases ||
+		src < 0 || src >= m.ranks || dst < 0 || dst >= m.ranks {
+		return nil
+	}
+	return &m.cells[(phase*m.ranks+src)*m.ranks+dst]
+}
+
+// CountSend records one src→dst message of the given payload bytes
+// under the sender's phase. Nil-safe; two atomic adds when enabled.
+func (m *CommMatrix) CountSend(phase, src, dst, bytes int) {
+	c := m.cell(phase, src, dst)
+	if c == nil {
+		return
+	}
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(int64(bytes))
+}
+
+// CountRecv records the receipt of one src→dst message under the
+// receiver's phase. Nil-safe; two atomic adds when enabled.
+func (m *CommMatrix) CountRecv(phase, src, dst, bytes int) {
+	c := m.cell(phase, src, dst)
+	if c == nil {
+		return
+	}
+	c.recvMsgs.Add(1)
+	c.recvBytes.Add(int64(bytes))
+}
+
+// MatrixSnapshot is a frozen, JSON-marshalable view of a CommMatrix:
+// one entry per phase with any traffic, each holding p×p counts.
+type MatrixSnapshot struct {
+	Ranks  int                   `json:"ranks"`
+	Phases []MatrixPhaseSnapshot `json:"phases"`
+}
+
+// MatrixPhaseSnapshot is one phase's p×p traffic: outer index src,
+// inner index dst.
+type MatrixPhaseSnapshot struct {
+	Phase     int       `json:"phase"`
+	Name      string    `json:"name,omitempty"`
+	SentMsgs  [][]int64 `json:"sent_msgs"`
+	SentBytes [][]int64 `json:"sent_bytes"`
+	RecvMsgs  [][]int64 `json:"recv_msgs"`
+	RecvBytes [][]int64 `json:"recv_bytes"`
+}
+
+// Snapshot freezes the matrix. nameOf, when non-nil, supplies phase
+// display names (e.g. Timeline.PhaseName). Phases with no recorded
+// traffic are omitted. Concurrent counting may be partially visible;
+// each cell is internally consistent enough for reporting.
+func (m *CommMatrix) Snapshot(nameOf func(int) string) MatrixSnapshot {
+	if m == nil {
+		return MatrixSnapshot{}
+	}
+	out := MatrixSnapshot{Ranks: m.ranks}
+	for ph := 0; ph < m.phases; ph++ {
+		ps := MatrixPhaseSnapshot{
+			Phase:     ph,
+			SentMsgs:  make([][]int64, m.ranks),
+			SentBytes: make([][]int64, m.ranks),
+			RecvMsgs:  make([][]int64, m.ranks),
+			RecvBytes: make([][]int64, m.ranks),
+		}
+		var any int64
+		for src := 0; src < m.ranks; src++ {
+			ps.SentMsgs[src] = make([]int64, m.ranks)
+			ps.SentBytes[src] = make([]int64, m.ranks)
+			ps.RecvMsgs[src] = make([]int64, m.ranks)
+			ps.RecvBytes[src] = make([]int64, m.ranks)
+			for dst := 0; dst < m.ranks; dst++ {
+				c := m.cell(ph, src, dst)
+				ps.SentMsgs[src][dst] = c.sentMsgs.Load()
+				ps.SentBytes[src][dst] = c.sentBytes.Load()
+				ps.RecvMsgs[src][dst] = c.recvMsgs.Load()
+				ps.RecvBytes[src][dst] = c.recvBytes.Load()
+				any += ps.SentMsgs[src][dst] + ps.RecvMsgs[src][dst]
+			}
+		}
+		if any == 0 {
+			continue
+		}
+		if nameOf != nil {
+			ps.Name = nameOf(ph)
+		}
+		out.Phases = append(out.Phases, ps)
+	}
+	return out
+}
+
+// RankTraffic is one world rank's traffic totals.
+type RankTraffic struct {
+	Rank      int   `json:"rank"`
+	SentMsgs  int64 `json:"sent_msgs"`
+	SentBytes int64 `json:"sent_bytes"`
+	RecvMsgs  int64 `json:"recv_msgs"`
+	RecvBytes int64 `json:"recv_bytes"`
+}
+
+// RankTotals sums one phase of the snapshot into per-rank sent (row
+// sums) and received (column sums) totals.
+func (ps MatrixPhaseSnapshot) RankTotals() []RankTraffic {
+	out := make([]RankTraffic, len(ps.SentMsgs))
+	for src := range ps.SentMsgs {
+		out[src].Rank = src
+		for dst := range ps.SentMsgs[src] {
+			out[src].SentMsgs += ps.SentMsgs[src][dst]
+			out[src].SentBytes += ps.SentBytes[src][dst]
+			out[dst].RecvMsgs += ps.RecvMsgs[src][dst]
+			out[dst].RecvBytes += ps.RecvBytes[src][dst]
+		}
+	}
+	return out
+}
+
+// RankTotals sums the whole snapshot into per-rank totals over all
+// phases — the per-rank S/W contributions the live hub serves.
+func (s MatrixSnapshot) RankTotals() []RankTraffic {
+	out := make([]RankTraffic, s.Ranks)
+	for i := range out {
+		out[i].Rank = i
+	}
+	for _, ps := range s.Phases {
+		for _, rt := range ps.RankTotals() {
+			out[rt.Rank].SentMsgs += rt.SentMsgs
+			out[rt.Rank].SentBytes += rt.SentBytes
+			out[rt.Rank].RecvMsgs += rt.RecvMsgs
+			out[rt.Rank].RecvBytes += rt.RecvBytes
+		}
+	}
+	return out
+}
+
+// Table renders the snapshot as per-phase heatmap-style tables: one
+// src×dst grid of "msgs/bytes" cells per phase with traffic (send side;
+// the recv side mirrors it shifted by any phase-label skew between the
+// endpoints). Meant for modest rank counts — each table is p+1 columns
+// wide.
+func (s MatrixSnapshot) Table() string {
+	var b strings.Builder
+	if len(s.Phases) == 0 {
+		return "communication matrix: no traffic recorded\n"
+	}
+	for _, ps := range s.Phases {
+		name := ps.Name
+		if name == "" {
+			name = fmt.Sprintf("phase%d", ps.Phase)
+		}
+		fmt.Fprintf(&b, "phase %s (sent msgs/bytes, row = src, col = dst)\n", name)
+		fmt.Fprintf(&b, "%8s", "")
+		for dst := 0; dst < s.Ranks; dst++ {
+			fmt.Fprintf(&b, " %12s", fmt.Sprintf("d%d", dst))
+		}
+		b.WriteString("\n")
+		for src := 0; src < s.Ranks; src++ {
+			fmt.Fprintf(&b, "%8s", fmt.Sprintf("s%d", src))
+			for dst := 0; dst < s.Ranks; dst++ {
+				if ps.SentMsgs[src][dst] == 0 {
+					fmt.Fprintf(&b, " %12s", ".")
+					continue
+				}
+				fmt.Fprintf(&b, " %12s", fmt.Sprintf("%d/%d", ps.SentMsgs[src][dst], ps.SentBytes[src][dst]))
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -27,11 +27,47 @@
 // vocabulary (package trace) registers display names on the Timeline.
 package obs
 
+import "sync/atomic"
+
 // Observer bundles the event timeline and the metrics registry of one
 // observed run. Either field may be nil to enable only the other.
 type Observer struct {
 	Timeline *Timeline
 	Metrics  *Registry
+
+	// matrix is the per-(phase, src, dst) traffic matrix, installed
+	// lazily via EnsureMatrix. Held behind an atomic pointer because the
+	// runtime installs it at run start while a live hub may already be
+	// serving /matrix.json from another goroutine.
+	matrix atomic.Pointer[CommMatrix]
+}
+
+// Matrix returns the communication matrix, or nil when none was
+// installed. Nil-safe.
+func (o *Observer) Matrix() *CommMatrix {
+	if o == nil {
+		return nil
+	}
+	return o.matrix.Load()
+}
+
+// EnsureMatrix returns the observer's communication matrix, installing
+// a fresh phases×ranks×ranks one if none exists yet. The first caller
+// wins; later calls return the installed matrix regardless of their
+// dimensions, so the API configurator and the runtime can both call it
+// without coordinating. Nil-safe (returns nil on a nil observer).
+func (o *Observer) EnsureMatrix(phases, ranks int) *CommMatrix {
+	if o == nil {
+		return nil
+	}
+	if m := o.matrix.Load(); m != nil {
+		return m
+	}
+	m := NewCommMatrix(phases, ranks)
+	if o.matrix.CompareAndSwap(nil, m) {
+		return m
+	}
+	return o.matrix.Load()
 }
 
 // NewObserver returns an observer with a timeline of the given rank

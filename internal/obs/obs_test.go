@@ -13,7 +13,7 @@ func TestRingWraparound(t *testing.T) {
 	tl := NewTimeline(1, 4)
 	tr := tl.Rank(0)
 	for i := 0; i < 10; i++ {
-		tr.Send(i, i, i)
+		tr.Send(i, i, i, uint64(i+1))
 	}
 	if tr.Len() != 4 {
 		t.Errorf("Len = %d, want 4", tr.Len())
@@ -43,8 +43,8 @@ func TestRingWraparound(t *testing.T) {
 func TestRingBelowCapacity(t *testing.T) {
 	tl := NewTimeline(2, 8)
 	tr := tl.Rank(1)
-	tr.Send(3, 7, 100)
-	tr.Send(4, 7, 200)
+	tr.Send(3, 7, 100, 0)
+	tr.Send(4, 7, 200, 0)
 	if tr.Dropped() != 0 {
 		t.Errorf("Dropped = %d, want 0", tr.Dropped())
 	}
@@ -68,8 +68,8 @@ func TestDisabledPathAllocs(t *testing.T) {
 	g := reg.Gauge("x")
 	allocs := testing.AllocsPerRun(1000, func() {
 		tr.Phase(1)
-		tr.Send(1, 2, 3)
-		tr.Recv(tr.Now(), 1, 2, 3)
+		tr.Send(1, 2, 3, 0)
+		tr.Recv(tr.Now(), 1, 2, 3, 0)
 		tr.Collective(KindBcast, tr.Now(), 0)
 		tr.Close()
 		ctr.Inc()
@@ -122,9 +122,9 @@ func TestChromeTraceExport(t *testing.T) {
 	for r := 0; r < 2; r++ {
 		tr := tl.Rank(r)
 		tr.Phase(1)
-		tr.Send(1-r, 42, 128)
+		tr.Send(1-r, 42, 128, 0)
 		start := tr.Now()
-		tr.Recv(start, 1-r, 42, 128)
+		tr.Recv(start, 1-r, 42, 128, 0)
 		tr.Collective(KindBcast, start, 64)
 		tr.Close()
 	}
@@ -177,7 +177,7 @@ func TestJSONLExport(t *testing.T) {
 	tl.SetPhaseNames([]string{"compute"})
 	tr := tl.Rank(0)
 	tr.Phase(0)
-	tr.Send(5, 9, 256)
+	tr.Send(5, 9, 256, 0)
 	tr.Close()
 	var buf bytes.Buffer
 	if err := tl.WriteJSONL(&buf); err != nil {

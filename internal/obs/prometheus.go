@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// promName sanitizes an instrument name into the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: dots (our namespace separator) and
+// any other invalid rune become underscores, and a leading digit gets an
+// underscore prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-bucketed series with _sum and
+// _count, always closed by a +Inf bucket. Instruments are emitted in
+// sorted name order so the output is stable; the golden-file test pins
+// the exact format. The live hub's /metrics endpoint serves this.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range Names(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range Names(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Gauges[name])
+	}
+	for _, name := range Names(s.Histograms) {
+		pn := promName(name)
+		hs := s.Histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, b := range hs.Buckets {
+			cum += b.Count
+			if b.Le == math.MaxInt64 {
+				// Folded into the +Inf bucket below.
+				continue
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", pn, b.Le, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, hs.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", pn, hs.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", pn, hs.Count)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files")
+
+// TestPrometheusGolden locks the exact text-exposition bytes against a
+// committed golden file: scrape format breakage (renamed series,
+// reordered samples, malformed histogram buckets) shows up as a diff
+// instead of a silently broken dashboard.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("comm.sent.msgs").Add(42)
+	reg.Counter("comm.sent.bytes").Add(2184)
+	reg.Gauge("comm.s.measured").Set(96)
+	reg.Gauge("comm.s.lowerbound").Set(32)
+	reg.Gauge("step.current").Set(7)
+	h := reg.Histogram("msg.bytes")
+	h.Observe(52)
+	h.Observe(52)
+	h.Observe(104)
+	h.Observe(4160)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exposition drifted from %s (run with -update to accept):\ngot:\n%swant:\n%s", golden, got, want)
+	}
+}
+
+// TestPromName checks metric-name sanitization: dotted registry names
+// must become legal Prometheus identifiers.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"comm.sent.msgs":     "comm_sent_msgs",
+		"step.wall_ns":       "step_wall_ns",
+		"already_legal":      "already_legal",
+		"0starts.with.digit": "_0starts_with_digit",
+		"odd-chars!":         "odd_chars_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusHistogramCumulative checks bucket counts are cumulative
+// and capped by +Inf == _count, the exposition-format contract.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `x_bucket{le="+Inf"} 5`) {
+		t.Errorf("missing +Inf bucket == count:\n%s", out)
+	}
+	if !strings.Contains(out, "x_count 5") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, "x_sum 1106") {
+		t.Errorf("missing _sum:\n%s", out)
+	}
+	// Cumulative: every printed bucket count must be non-decreasing.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "x_bucket{") {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		last = n
+	}
+}

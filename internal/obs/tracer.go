@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -69,6 +70,13 @@ type Event struct {
 	Peer  int32
 	Tag   int32
 	Bytes int64
+	// Seq is the 1-based per-(src,dst) message sequence number of a send
+	// or receive, stamped by the comm substrate. A send and the receive
+	// that consumed it carry the same Seq, which is what lets the Chrome
+	// exporter bind them into a flow arrow. 0 means unsequenced (phase
+	// spans, collectives, workers, or events recorded outside the
+	// runtime).
+	Seq uint64
 }
 
 // End returns the event's end time (Start for instants).
@@ -185,13 +193,17 @@ func (tl *Timeline) Dropped() int64 {
 	return d
 }
 
-// Tracer records one rank's events. It belongs to that rank's goroutine
-// and is not safe for concurrent use; a nil *Tracer is the valid,
+// Tracer records one rank's events. Recording belongs to that rank's
+// goroutine (the open-phase state is owner-only), but the ring itself is
+// guarded by a light mutex so Events/Len/Dropped — and therefore the
+// live hub's mid-run /trace export — are safe to call from any
+// goroutine while the rank keeps recording. A nil *Tracer is the valid,
 // allocation-free disabled tracer (every method nil-checks and
 // returns).
 type Tracer struct {
 	tl        *Timeline
 	rank      int
+	mu        sync.Mutex // guards buf and n
 	buf       []Event
 	n         uint64
 	openPhase uint8
@@ -218,8 +230,10 @@ func (t *Tracer) Now() int64 {
 
 // record appends into the ring, overwriting the oldest event when full.
 func (t *Tracer) record(e Event) {
+	t.mu.Lock()
 	t.buf[t.n%uint64(len(t.buf))] = e
 	t.n++
+	t.mu.Unlock()
 }
 
 // Phase switches the rank's active phase: it closes the currently open
@@ -260,22 +274,27 @@ func (t *Tracer) Close() {
 	t.closeSpan(t.Now())
 }
 
-// Send records an instantaneous point-to-point send event.
-func (t *Tracer) Send(peer, tag, bytes int) {
+// Send records an instantaneous point-to-point send event. seq is the
+// 1-based per-(src,dst) message sequence number stamped by the comm
+// substrate; the matching Recv on the peer carries the same seq, which
+// the Chrome exporter turns into a flow arrow. Pass 0 when the message
+// has no sequence identity.
+func (t *Tracer) Send(peer, tag, bytes int, seq uint64) {
 	if t == nil {
 		return
 	}
-	t.record(Event{Start: t.Now(), Kind: KindSend, Phase: t.openPhase, Peer: int32(peer), Tag: int32(tag), Bytes: int64(bytes)})
+	t.record(Event{Start: t.Now(), Kind: KindSend, Phase: t.openPhase, Peer: int32(peer), Tag: int32(tag), Bytes: int64(bytes), Seq: seq})
 }
 
 // Recv records a completed receive that began waiting at start (a value
 // from Now): the span captures how long the rank blocked for the
-// message.
-func (t *Tracer) Recv(start int64, peer, tag, bytes int) {
+// message. seq is the sequence number the received message carried (the
+// sender's Send stamped the same value), or 0 when unsequenced.
+func (t *Tracer) Recv(start int64, peer, tag, bytes int, seq uint64) {
 	if t == nil {
 		return
 	}
-	t.record(Event{Start: start, Dur: t.Now() - start, Kind: KindRecv, Phase: t.openPhase, Peer: int32(peer), Tag: int32(tag), Bytes: int64(bytes)})
+	t.record(Event{Start: start, Dur: t.Now() - start, Kind: KindRecv, Phase: t.openPhase, Peer: int32(peer), Tag: int32(tag), Bytes: int64(bytes), Seq: seq})
 }
 
 // Collective records a collective entry/exit span of the given kind
@@ -302,11 +321,14 @@ func (t *Tracer) WorkerSpan(worker int, durNs int64) {
 	t.record(Event{Start: now - durNs, Dur: durNs, Kind: KindWorker, Phase: t.openPhase, Peer: int32(worker)})
 }
 
-// Len returns the number of events currently held (≤ capacity).
+// Len returns the number of events currently held (≤ capacity). Safe to
+// call while the owner records.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.n < uint64(len(t.buf)) {
 		return int(t.n)
 	}
@@ -321,11 +343,14 @@ func (t *Tracer) Cap() int {
 	return len(t.buf)
 }
 
-// Dropped returns how many events were overwritten by wraparound.
+// Dropped returns how many events were overwritten by wraparound. Safe
+// to call while the owner records.
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.n <= uint64(len(t.buf)) {
 		return 0
 	}
@@ -334,10 +359,14 @@ func (t *Tracer) Dropped() int64 {
 
 // Events returns the held events in recording order, unrolling the
 // ring. The slice is freshly allocated; the tracer keeps recording.
+// Safe to call while the owner records, which is how the live hub
+// exports a consistent mid-run trace.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	cap := uint64(len(t.buf))
 	if t.n <= cap {
 		return append([]Event(nil), t.buf[:t.n]...)

@@ -25,6 +25,9 @@ type Summary struct {
 	Ranks            int            `json:"ranks"`
 	S                int64          `json:"s_critical_path"`
 	W                int64          `json:"w_critical_path_bytes"`
+	SLowerBound      float64        `json:"s_lower_bound,omitempty"`
+	WLowerBound      float64        `json:"w_lower_bound_bytes,omitempty"`
+	TimelineDropped  int64          `json:"timeline_dropped,omitempty"`
 	ComputeImbalance float64        `json:"compute_imbalance"`
 	WorkerImbalance  float64        `json:"worker_imbalance"`
 	Phases           []PhaseSummary `json:"phases"`
@@ -38,6 +41,9 @@ func (r *Report) Summary() Summary {
 		Ranks:            r.Ranks,
 		S:                r.S(),
 		W:                r.W(),
+		SLowerBound:      r.SLowerBound,
+		WLowerBound:      r.WLowerBound,
+		TimelineDropped:  r.TimelineDropped,
 		ComputeImbalance: r.ComputeImbalance(),
 		WorkerImbalance:  r.WorkerImbalance(),
 	}

@@ -255,6 +255,18 @@ type Report struct {
 	WorkerMax   time.Duration
 	WorkerSum   time.Duration
 	WorkerLanes int
+	// SLowerBound and WLowerBound are the paper's per-run communication
+	// lower bounds for the executed configuration (Eq. 2 for direct
+	// interactions, Eq. 3 under a cutoff), in message events and bytes
+	// respectively — the same units as S() and W(). Zero when the
+	// algorithm driver did not supply bounds; then the footer omits the
+	// optimality lines.
+	SLowerBound float64
+	WLowerBound float64
+	// TimelineDropped counts timeline events lost to ring wraparound
+	// during the run (0 when unobserved or nothing was dropped). A
+	// nonzero value means the exported trace is a truncated suffix.
+	TimelineDropped int64
 }
 
 // Aggregate builds a Report from per-rank Stats.
@@ -344,8 +356,19 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "%-37s %12d\n", "S/W  S (critical-path msg events)", r.S())
 	fmt.Fprintf(&b, "%-37s %12d\n", "     W (critical-path bytes)", r.W())
+	if r.SLowerBound > 0 {
+		fmt.Fprintf(&b, "%-37s %12.1f\n", "     S lower bound (Eq. 2/3)", r.SLowerBound)
+		fmt.Fprintf(&b, "%-37s %12.2f\n", "     S / bound (1 = optimal)", float64(r.S())/r.SLowerBound)
+	}
+	if r.WLowerBound > 0 {
+		fmt.Fprintf(&b, "%-37s %12.1f\n", "     W lower bound (bytes)", r.WLowerBound)
+		fmt.Fprintf(&b, "%-37s %12.2f\n", "     W / bound (1 = optimal)", float64(r.W())/r.WLowerBound)
+	}
 	fmt.Fprintf(&b, "%-37s %12.3f\n", "     compute imbalance (max/mean)", r.ComputeImbalance())
 	fmt.Fprintf(&b, "%-37s %12.3f\n", "     per-worker imbalance (max/mean)", r.WorkerImbalance())
+	if r.TimelineDropped > 0 {
+		fmt.Fprintf(&b, "WARNING: timeline dropped %d events to ring wraparound; the exported trace is truncated\n", r.TimelineDropped)
+	}
 	return b.String()
 }
 

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/trace"
 )
 
@@ -19,6 +20,16 @@ type TimelineEvent = obs.Event
 // MetricsSnapshot is a frozen view of an observed run's metrics
 // registry: counters, gauges and log₂-bucketed histograms.
 type MetricsSnapshot = obs.Snapshot
+
+// CommMatrixSnapshot is a frozen view of the per-(phase, src, dst)
+// communication matrix of an observed run: per world-rank pair, the
+// messages and payload bytes sent and received under each trace phase.
+type CommMatrixSnapshot = obs.MatrixSnapshot
+
+// LiveServer is the embedded HTTP telemetry hub: /metrics (Prometheus
+// text), /snapshot.json, /trace (Chrome trace JSON, safe mid-run),
+// /matrix.json and /debug/pprof. Create with NewLiveServer or ServeLive.
+type LiveServer = live.Server
 
 // ObserveOptions enables per-event observability for a simulation: a
 // per-rank event timeline and a metrics registry, both populated by the
@@ -38,6 +49,7 @@ func (c Config) observer() *obs.Observer {
 	}
 	o := obs.NewObserver(c.P, c.Observe.TimelineCapacity)
 	o.Timeline.SetPhaseNames(trace.PhaseNames())
+	o.EnsureMatrix(len(trace.PhaseNames()), c.P)
 	return o
 }
 
@@ -99,4 +111,59 @@ func (s *Simulation) WriteMetrics(w io.Writer) error {
 	}
 	_, err = w.Write(data)
 	return err
+}
+
+// CommMatrix freezes and returns the simulation's communication matrix:
+// per (phase, src rank, dst rank), the messages and bytes exchanged so
+// far. Safe to call while Run is in flight (the cells are atomics).
+// Empty when Config.Observe is unset.
+func (s *Simulation) CommMatrix() CommMatrixSnapshot {
+	if s.observer == nil {
+		return CommMatrixSnapshot{}
+	}
+	tl := s.observer.Timeline
+	return s.observer.Matrix().Snapshot(func(ph int) string { return tl.PhaseName(uint8(ph)) })
+}
+
+// NewLiveServer returns an HTTP telemetry hub serving this simulation's
+// observer, not yet listening: mount Handler() yourself or call
+// Start(addr). Errors when the simulation is not observed.
+func (s *Simulation) NewLiveServer() (*LiveServer, error) {
+	if s.observer == nil {
+		return nil, errNotObserved
+	}
+	return live.New(s.observer), nil
+}
+
+// ServeLive starts the telemetry hub on addr (e.g. "localhost:8080", or
+// "localhost:0" for an ephemeral port) in a background goroutine and
+// returns the server and its bound address. Every endpoint is safe to
+// scrape while Run is in flight. Close the server when done.
+func (s *Simulation) ServeLive(addr string) (*LiveServer, string, error) {
+	srv, err := s.NewLiveServer()
+	if err != nil {
+		return nil, "", err
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// NewLiveHub returns a telemetry hub with no observer attached yet —
+// the shape long-lived servers want: start it once, then AttachLive
+// each simulation in turn (a sweep does exactly this). Endpoints
+// report an empty state until the first attach.
+func NewLiveHub() *LiveServer { return live.New(nil) }
+
+// AttachLive points an existing hub (e.g. one shared across the runs of
+// a sweep) at this simulation's observer. Errors when the simulation is
+// not observed.
+func (s *Simulation) AttachLive(srv *LiveServer) error {
+	if s.observer == nil {
+		return errNotObserved
+	}
+	srv.Attach(s.observer)
+	return nil
 }
