@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obsdebug benchguard benchsmoke httpsmoke bench
+.PHONY: check build vet test race obsdebug benchguard benchsmoke httpsmoke benchdiff bench
 
-check: build vet test race obsdebug benchguard benchsmoke httpsmoke
+check: build vet test race obsdebug benchguard benchsmoke httpsmoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -55,10 +55,22 @@ benchsmoke:
 httpsmoke:
 	$(GO) run ./cmd/bench -httpsmoke
 
+# Perf-regression gate: run the quick bench (timesteps, transport,
+# recorder overhead) and diff the result against the committed baseline
+# with obsdiff, which exits 1 if any shared metric regresses past the
+# threshold. The threshold is deliberately loose — wall-clock metrics on
+# a loaded CI machine vary severalfold; the gate catches order-of-
+# magnitude regressions (a quadratic slip, a lost fast path), while
+# tighter human-reviewed comparisons use obsdiff directly on recordings.
+benchdiff:
+	$(GO) run ./cmd/bench -quick -o /tmp/canbody_benchdiff.json
+	$(GO) run ./cmd/obsdiff -threshold 8 BENCH_PR6.json /tmp/canbody_benchdiff.json
+
 # Full benchmark report: kernel microbenchmarks (generic vs specialized,
 # pooled worker widths), speedups, end-to-end per-step wall times, the
-# typed-vs-encoded transport comparison, and the rank×worker scaling
-# grid, written to BENCH_PR4.json. The obs micro-benchmarks ride along.
+# typed-vs-encoded transport comparison, the rank×worker scaling grid,
+# and the flight-recorder overhead, written to BENCH_PR6.json. The obs
+# micro-benchmarks ride along.
 bench:
-	$(GO) run ./cmd/bench -o BENCH_PR4.json
+	$(GO) run ./cmd/bench -o BENCH_PR6.json
 	$(GO) test -run NONE -bench . -benchtime 1s ./internal/obs/

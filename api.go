@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/record"
 	"repro/internal/phys"
 	"repro/internal/trace"
 )
@@ -252,6 +253,7 @@ type Simulation struct {
 	particles []Particle
 	report    *trace.Report
 	observer  *obs.Observer
+	recorder  *record.Recorder
 	steps     int
 }
 
@@ -285,8 +287,10 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	// The observer attaches after the dry run so validation noise never
-	// reaches the timeline.
+	// reaches the timeline (and the recorder after the observer: it
+	// samples the observer's matrix and metrics).
 	s.observer = cfg.observer()
+	s.recorder = cfg.newRecorder(s.observer)
 	return s, nil
 }
 
@@ -348,6 +352,11 @@ func (s *Simulation) Run(steps int) error {
 func (s *Simulation) advance(steps int) ([]Particle, *trace.Report, error) {
 	pr := s.cfg.params(steps)
 	pr.Options.Observe = s.observer
+	if steps > 0 {
+		// The dry run must not reach the recorder: zero-step validation
+		// would otherwise start its runtime sampler and stream nothing.
+		pr.Record = s.recorder
+	}
 	switch s.cfg.resolveAlgorithm() {
 	case CAAllPairs:
 		return core.AllPairs(s.particles, pr)

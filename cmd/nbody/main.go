@@ -19,6 +19,7 @@ import (
 	"time"
 
 	nbody "repro"
+	"repro/internal/obs/record"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		traceJSONL  = flag.String("trace-jsonl", "", "write the event timeline as JSON lines to this file")
 		traceCap    = flag.Int("trace-events", 0, "per-rank event ring capacity (0 = default 65536)")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file (flushed every second during the run)")
+		recordOut   = flag.String("record-out", "", "stream the per-step flight recording (JSON lines, one sample per step) to this file; a .gz suffix gzip-compresses it")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		httpAddr    = flag.String("http", "", "serve the live telemetry hub on this address (e.g. localhost:8080): /metrics, /snapshot.json, /trace, /matrix.json, /debug/pprof")
 		matrixOut   = flag.Bool("matrix", false, "print the per-phase src x dst communication matrix after the run")
@@ -60,7 +62,7 @@ func main() {
 		}()
 		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
 	}
-	observing := *traceOut != "" || *traceJSONL != "" || *metricsOut != "" || *httpAddr != "" || *matrixOut
+	observing := *traceOut != "" || *traceJSONL != "" || *metricsOut != "" || *httpAddr != "" || *matrixOut || *recordOut != ""
 
 	cfg := nbody.Config{
 		N: *n, P: *p, C: *c, Workers: *workers, Dim: *dim, Cutoff: *cutoff,
@@ -136,7 +138,18 @@ func main() {
 			log.Fatal(err)
 		}
 		defer hub.Close()
-		fmt.Printf("live telemetry on http://%s/ (metrics, snapshot.json, trace, matrix.json, debug/pprof)\n", bound)
+		fmt.Printf("live telemetry on http://%s/ (metrics, snapshot.json, trace, matrix.json, series.json, debug/pprof)\n", bound)
+	}
+
+	var recordSink io.WriteCloser
+	if *recordOut != "" {
+		recordSink, err = record.OpenSink(*recordOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Recorder().StreamTo(recordSink); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var traj *nbody.TrajectoryWriter
@@ -242,6 +255,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("JSONL timeline written to %s\n", *traceJSONL)
+	}
+	if recordSink != nil {
+		if err := sim.Recorder().CloseStream(); err != nil {
+			log.Fatal(err)
+		}
+		if err := recordSink.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flight recording (%d steps) written to %s\n", sim.Recorder().Total(), *recordOut)
 	}
 
 	if *saveFile != "" {

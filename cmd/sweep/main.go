@@ -25,6 +25,7 @@ import (
 	"time"
 
 	nbody "repro"
+	"repro/internal/obs/record"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		autotuneW  = flag.Bool("autotune-workers", false, "pick the worker-pool width automatically instead of sweeping")
 		traceOut   = flag.String("trace-out", "", "write one Chrome trace per configuration, with .c<N> inserted before the extension")
 		metricsOut = flag.String("metrics-out", "", "write one metrics snapshot per configuration, with .c<N> inserted before the extension")
+		recordOut  = flag.String("record-out", "", "stream one per-step flight recording (JSON lines) per configuration, with .c<N> inserted before the extension; a .gz suffix gzip-compresses")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		httpAddr   = flag.String("http", "", "serve the live telemetry hub on this address; the hub re-attaches to each configuration as the sweep progresses")
 	)
@@ -55,7 +57,7 @@ func main() {
 	}
 
 	cfg := nbody.Config{N: *n, P: *p, Workers: *workers, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0}
-	if *traceOut != "" || *metricsOut != "" || *httpAddr != "" {
+	if *traceOut != "" || *metricsOut != "" || *httpAddr != "" || *recordOut != "" {
 		cfg.Observe = &nbody.ObserveOptions{}
 	}
 
@@ -132,6 +134,18 @@ func main() {
 				log.Fatalf("c=%d: %v", c, err)
 			}
 		}
+		var recordSink io.WriteCloser
+		var recordPath string
+		if *recordOut != "" {
+			recordPath = perConfigPath(*recordOut, c)
+			recordSink, err = record.OpenSink(recordPath)
+			if err != nil {
+				log.Fatalf("c=%d: %v", c, err)
+			}
+			if err := sim.Recorder().StreamTo(recordSink); err != nil {
+				log.Fatalf("c=%d: %v", c, err)
+			}
+		}
 		start := time.Now()
 		if err := sim.Run(*steps); err != nil {
 			log.Fatalf("c=%d: %v", c, err)
@@ -152,6 +166,15 @@ func main() {
 				log.Fatalf("c=%d: %v", c, err)
 			}
 			fmt.Printf("       metrics written to %s\n", path)
+		}
+		if recordSink != nil {
+			if err := sim.Recorder().CloseStream(); err != nil {
+				log.Fatalf("c=%d: %v", c, err)
+			}
+			if err := recordSink.Close(); err != nil {
+				log.Fatalf("c=%d: %v", c, err)
+			}
+			fmt.Printf("       recording written to %s\n", recordPath)
 		}
 	}
 }

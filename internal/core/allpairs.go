@@ -42,6 +42,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 	// results[t] is written only by the leader of team t.
 	results := make([][]phys.Particle, T)
 
+	rr := newRunRecorder(pr)
 	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
 		rank := world.Rank()
 		row, col := grid.Coord(rank)
@@ -75,6 +76,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 		pairEvals := mx.Counter("compute.pairs")
 		observed := mx != nil
 		probe := newStepProbe(world, perS, perW)
+		sampler := rr.sampler(world, pr.Steps)
 
 		// Per-rank fast-path state, built once: the law is compiled to a
 		// specialized kernel (kind/cutoff/softening resolved outside the
@@ -177,8 +179,10 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 			if observed {
 				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
 				if rank == 0 {
-					stepWall.Observe(time.Since(t0).Nanoseconds())
+					wall := time.Since(t0)
+					stepWall.Observe(wall.Nanoseconds())
 					stepsDone.Inc()
+					sampler.stampStep(wall)
 				}
 			}
 		}
@@ -189,6 +193,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 		return nil
 	})
 	stampReport(report, perS, perW, pr.Steps)
+	rr.finish(report)
 	if err != nil {
 		return nil, report, err
 	}

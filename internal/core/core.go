@@ -20,6 +20,7 @@ import (
 	"runtime"
 
 	"repro/internal/comm"
+	"repro/internal/obs/record"
 	"repro/internal/phys"
 )
 
@@ -52,6 +53,12 @@ type Params struct {
 	// to 1 when P alone already oversubscribes the machine. Negative
 	// values are rejected by validation.
 	Workers int
+	// Record, when non-nil on an observed run, receives one flight-
+	// recorder sample per timestep (per-phase walls and traffic, bounds
+	// vs measured, runtime health) stamped by world rank 0. Ignored
+	// unless Options.Observe is also set — the sampler reads the
+	// observer's matrix and metrics.
+	Record *record.Recorder
 }
 
 // Teams returns the number of teams p/c.

@@ -66,6 +66,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 	results := make([][]phys.Particle, T)
 	perS, perW := cutoffBounds(n, pr)
 
+	rr := newRunRecorder(pr)
 	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
 		rank := world.Rank()
 		layer, team := grid.Coord(rank)
@@ -107,6 +108,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		pairEvals := mx.Counter("compute.pairs")
 		observed := mx != nil
 		probe := newStepProbe(world, perS, perW)
+		sampler := rr.sampler(world, pr.Steps)
 
 		// Per-rank fast-path state, built once per run: specialized
 		// kernel, the transport's retained buffers (see transport.go
@@ -226,8 +228,10 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 			if observed {
 				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
 				if rank == 0 {
-					stepWall.Observe(time.Since(t0).Nanoseconds())
+					wall := time.Since(t0)
+					stepWall.Observe(wall.Nanoseconds())
 					stepsDone.Inc()
+					sampler.stampStep(wall)
 				}
 			}
 		}
@@ -238,6 +242,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		return nil
 	})
 	stampReport(report, perS, perW, pr.Steps)
+	rr.finish(report)
 	if err != nil {
 		return nil, report, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/phys"
@@ -74,14 +75,26 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 	results := make([][]phys.Particle, T)
 	perS, perW := cutoffBounds(n, pr)
 
+	rr := newRunRecorder(pr)
 	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
 		me := world.Rank()
 		st := world.Stats()
 		x := newXfer(pr.Encoded, me, false)
 		pool := phys.NewPool(pr.WorkersPerRank())
 		defer pool.Close()
-		po := newPoolObs(pool, st, world.Metrics())
+
+		// Per-step metrics, mirroring the all-pairs and cutoff loops:
+		// step wall time from rank 0, per-rank per-step compute time from
+		// every rank. Handles are nil — and the calls no-ops — when the
+		// run is not observed.
+		mx := world.Metrics()
+		stepWall := mx.Histogram("step.wall_ns")
+		stepCompute := mx.Histogram("step.compute_ns")
+		stepsDone := mx.Counter("step.count")
+		observed := mx != nil
+		po := newPoolObs(pool, st, mx)
 		probe := newStepProbe(world, perS, perW)
+		sampler := rr.sampler(world, pr.Steps)
 		var mine []phys.Particle
 		for i := range ps {
 			if teamOfPos(ps[i].Pos, pr.Box, tg) == me {
@@ -93,6 +106,12 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 		defer st.StopTiming()
 
 		for step := 0; step < pr.Steps; step++ {
+			var t0 time.Time
+			var computeBefore time.Duration
+			if observed {
+				t0 = time.Now()
+				computeBefore = st.ByPhase[trace.Compute].Time
+			}
 			// (1) Import: exchange cells with every neighbor in the
 			// half-window.
 			st.SetPhase(trace.Shift)
@@ -232,11 +251,21 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 			st.SetPhase(trace.Other)
 			po.stampStep()
 			probe.stampStep()
+			if observed {
+				stepCompute.Observe(int64(st.ByPhase[trace.Compute].Time - computeBefore))
+				if me == 0 {
+					wall := time.Since(t0)
+					stepWall.Observe(wall.Nanoseconds())
+					stepsDone.Inc()
+					sampler.stampStep(wall)
+				}
+			}
 		}
 		results[me] = mine
 		return nil
 	})
 	stampReport(report, perS, perW, pr.Steps)
+	rr.finish(report)
 	if err != nil {
 		return nil, report, err
 	}

@@ -120,17 +120,26 @@ func TestMatrixConservation(t *testing.T) {
 			_, rep, err := Cutoff(ps, pr)
 			return rep, err
 		}},
+		{"midpoint", func(pr Params, ps []phys.Particle) (*trace.Report, error) {
+			_, rep, err := Midpoint2D(ps, pr)
+			return rep, err
+		}},
 	}
 	for _, alg := range algos {
 		t.Run(alg.name, func(t *testing.T) {
 			var pr Params
 			var ps []phys.Particle
 			var p int
-			if alg.name == "cutoff" {
+			switch alg.name {
+			case "cutoff":
 				p = 8 // 1D cutoff needs enough teams for its window
 				pr = cutoffParams(p, 2, 1, phys.Periodic)
 				ps = phys.InitLattice(64, pr.Box, 9)
-			} else {
+			case "midpoint":
+				p = 9 // 2D midpoint wants a square rank grid
+				pr = cutoffParams(p, 1, 2, phys.Reflective)
+				ps = phys.InitLattice(128, pr.Box, 9)
+			default:
 				p = 4
 				pr = defaultParams(p, 2, 3)
 				ps = phys.InitUniform(64, pr.Box, 9)

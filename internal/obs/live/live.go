@@ -18,10 +18,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/record"
 	"repro/internal/trace"
 )
 
@@ -29,6 +31,7 @@ import (
 // Handler on an existing server or call Start to listen and serve.
 type Server struct {
 	observer atomic.Pointer[obs.Observer]
+	recorder atomic.Pointer[record.Recorder]
 	mux      *http.ServeMux
 	ln       net.Listener
 	srv      *http.Server
@@ -44,6 +47,8 @@ func New(o *obs.Observer) *Server {
 	s.mux.HandleFunc("/snapshot.json", s.handleSnapshot)
 	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/matrix.json", s.handleMatrix)
+	s.mux.HandleFunc("/series.json", s.handleSeries)
+	s.mux.HandleFunc("/series/stream", s.handleSeriesStream)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -59,6 +64,13 @@ func (s *Server) Attach(o *obs.Observer) { s.observer.Store(o) }
 
 // Observer returns the currently attached observer (may be nil).
 func (s *Server) Observer() *obs.Observer { return s.observer.Load() }
+
+// AttachRecorder replaces the flight recorder /series.json and
+// /series/stream serve. Safe concurrently with in-flight requests.
+func (s *Server) AttachRecorder(r *record.Recorder) { s.recorder.Store(r) }
+
+// Recorder returns the currently attached recorder (may be nil).
+func (s *Server) Recorder() *record.Recorder { return s.recorder.Load() }
 
 // Handler returns the hub's handler for mounting on an external server.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -105,6 +117,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /snapshot.json  current metrics + per-rank communication totals, step, bounds ratio
   /trace          Chrome trace-event JSON of the timeline so far (load in Perfetto)
   /matrix.json    per-phase src x dst communication matrix (messages and bytes)
+  /series.json    recorded per-step samples (?last=k or ?from=&to= windows the series)
+  /series/stream  live per-step samples as server-sent events (data: one sample per step)
   /debug/pprof    standard Go profiling endpoints
 `)
 }
@@ -220,4 +234,102 @@ func buildSnapshot(o *obs.Observer) Snapshot {
 	}
 	doc.Ranks = ranks
 	return doc
+}
+
+// SeriesDoc is the /series.json document: the recording's metadata and
+// the requested window of per-step samples (field names match the
+// JSONL recording lines and reuse the /snapshot.json vocabulary).
+type SeriesDoc struct {
+	Meta        record.Meta   `json:"meta"`
+	Total       int64         `json:"total"`
+	RingDropped int64         `json:"ring_dropped"`
+	Samples     []record.View `json:"samples"`
+}
+
+// handleSeries serves the recorded step series. Query parameters window
+// it: ?last=k returns the most recent k samples, ?from=&to= a
+// half-open step range [from, to); default is everything still in the
+// ring. Without a recorder the document is empty (total 0).
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	rec := s.Recorder()
+	doc := SeriesDoc{Samples: []record.View{}}
+	if rec != nil {
+		doc.Meta = rec.Meta()
+		doc.Total = rec.Total()
+		doc.RingDropped = rec.RingDropped()
+		var samples []record.Sample
+		q := r.URL.Query()
+		if last := q.Get("last"); last != "" {
+			k, err := strconv.Atoi(last)
+			if err != nil {
+				http.Error(w, "bad last parameter", http.StatusBadRequest)
+				return
+			}
+			samples = rec.Last(k)
+		} else {
+			from, to := int64(0), doc.Total
+			var err error
+			if v := q.Get("from"); v != "" {
+				if from, err = strconv.ParseInt(v, 10, 64); err != nil {
+					http.Error(w, "bad from parameter", http.StatusBadRequest)
+					return
+				}
+			}
+			if v := q.Get("to"); v != "" {
+				if to, err = strconv.ParseInt(v, 10, 64); err != nil {
+					http.Error(w, "bad to parameter", http.StatusBadRequest)
+					return
+				}
+			}
+			samples = rec.Window(from, to)
+		}
+		nph := rec.NumPhases()
+		for _, smp := range samples {
+			doc.Samples = append(doc.Samples, smp.View(nph))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// handleSeriesStream serves the step series as server-sent events: one
+// "data:" line per recorded sample, starting with the next sample
+// recorded after the subscription. Slow consumers skip samples rather
+// than block the recording goroutine (the durable stream is the JSONL
+// file; this is the live view). The stream ends when the client
+// disconnects.
+func (s *Server) handleSeriesStream(w http.ResponseWriter, r *http.Request) {
+	rec := s.Recorder()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, cancel := rec.Subscribe(256)
+	defer cancel()
+	nph := rec.NumPhases()
+	for {
+		select {
+		case smp, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(smp.View(nph))
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }

@@ -20,6 +20,7 @@ import (
 type CommMatrix struct {
 	phases, ranks int
 	cells         []matrixCell // [phase][src][dst], flattened
+	totals        []matrixCell // per-phase running totals over all (src, dst)
 }
 
 // matrixCell holds one (phase, src, dst) entry. Send counts are stamped
@@ -46,6 +47,7 @@ func NewCommMatrix(phases, ranks int) *CommMatrix {
 		phases: phases,
 		ranks:  ranks,
 		cells:  make([]matrixCell, phases*ranks*ranks),
+		totals: make([]matrixCell, phases),
 	}
 }
 
@@ -77,7 +79,8 @@ func (m *CommMatrix) cell(phase, src, dst int) *matrixCell {
 }
 
 // CountSend records one src→dst message of the given payload bytes
-// under the sender's phase. Nil-safe; two atomic adds when enabled.
+// under the sender's phase. Nil-safe; four atomic adds when enabled
+// (the cell plus the phase running total).
 func (m *CommMatrix) CountSend(phase, src, dst, bytes int) {
 	c := m.cell(phase, src, dst)
 	if c == nil {
@@ -85,10 +88,14 @@ func (m *CommMatrix) CountSend(phase, src, dst, bytes int) {
 	}
 	c.sentMsgs.Add(1)
 	c.sentBytes.Add(int64(bytes))
+	t := &m.totals[phase]
+	t.sentMsgs.Add(1)
+	t.sentBytes.Add(int64(bytes))
 }
 
 // CountRecv records the receipt of one src→dst message under the
-// receiver's phase. Nil-safe; two atomic adds when enabled.
+// receiver's phase. Nil-safe; four atomic adds when enabled (the cell
+// plus the phase running total).
 func (m *CommMatrix) CountRecv(phase, src, dst, bytes int) {
 	c := m.cell(phase, src, dst)
 	if c == nil {
@@ -96,6 +103,22 @@ func (m *CommMatrix) CountRecv(phase, src, dst, bytes int) {
 	}
 	c.recvMsgs.Add(1)
 	c.recvBytes.Add(int64(bytes))
+	t := &m.totals[phase]
+	t.recvMsgs.Add(1)
+	t.recvBytes.Add(int64(bytes))
+}
+
+// PhaseTotals returns the cumulative traffic stamped under one phase
+// across all (src, dst) pairs. The totals are maintained inline with
+// CountSend/CountRecv, so a per-step sampler can read cumulative phase
+// traffic in O(phases) loads instead of an O(p²) matrix sweep. Zeros
+// when m is nil or the phase is out of range.
+func (m *CommMatrix) PhaseTotals(phase int) (sentMsgs, sentBytes, recvMsgs, recvBytes int64) {
+	if m == nil || phase < 0 || phase >= m.phases {
+		return 0, 0, 0, 0
+	}
+	t := &m.totals[phase]
+	return t.sentMsgs.Load(), t.sentBytes.Load(), t.recvMsgs.Load(), t.recvBytes.Load()
 }
 
 // MatrixSnapshot is a frozen, JSON-marshalable view of a CommMatrix:

@@ -192,6 +192,30 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Mean returns the running mean of all observations (0 on nil or when
+// empty). Allocation-free: two atomic loads.
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// MaxOverMean returns max/mean, the imbalance proxy HistogramSnapshot
+// exposes as max_over_mean, without building a snapshot (0 on nil, when
+// empty, or when the mean is 0). Allocation-free.
+func (h *Histogram) MaxOverMean() float64 {
+	mean := h.Mean()
+	if mean == 0 {
+		return 0
+	}
+	return float64(h.max.Load()) / mean
+}
+
 // HistogramSnapshot is a frozen histogram: count, sum, extrema, mean,
 // the nonzero log₂ buckets, and the max/mean ratio — for per-rank
 // per-step phase times this ratio is the imbalance proxy the paper's

@@ -1,0 +1,26 @@
+//go:build !obsdebug
+
+// The allocation guard only holds for release builds: the obsdebug
+// guard parses the goroutine id out of a stack header on every record,
+// which allocates by design (debug builds trade overhead for the
+// ownership check).
+
+package record
+
+import "testing"
+
+func TestRecordCumulativeAllocFree(t *testing.T) {
+	// The step path must not allocate when no stream is attached (the
+	// streaming writer goroutine owns all encoding allocations).
+	r := New(Meta{Phases: []string{"a", "b", "c"}}, 64)
+	r.RunBegin()
+	defer r.RunEnd(nil)
+	var cum int64
+	allocs := testing.AllocsPerRun(200, func() {
+		cum += 3
+		stamp(r, cum, 3)
+	})
+	if allocs > 0 {
+		t.Errorf("RecordCumulative allocates %.2f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,355 @@
+package record
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// MetricDoc is the comparison-plane view of a perf artifact: a flat
+// name → value metric map folded from either a flight recording or a
+// bench report (BENCH_*.json, any vintage). obsdiff intersects two
+// docs' metric names and gates the ratios.
+type MetricDoc struct {
+	Path     string
+	Kind     string // "recording" or "bench"
+	Key      string // config key (recordings only)
+	Metrics  map[string]float64
+	StepWall []int64 // per-step wall_ns series (recordings only), index = step
+}
+
+// FromRecording folds a recording into its metric document.
+func FromRecording(meta Meta, samples []Sample) MetricDoc {
+	doc := MetricDoc{
+		Kind:    "recording",
+		Key:     meta.Key(),
+		Metrics: map[string]float64{},
+	}
+	doc.Metrics["steps"] = float64(len(samples))
+	if len(samples) == 0 {
+		return doc
+	}
+	walls := make([]float64, len(samples))
+	var sum float64
+	var mx float64
+	for i, s := range samples {
+		walls[i] = float64(s.WallNs)
+		sum += walls[i]
+		if walls[i] > mx {
+			mx = walls[i]
+		}
+		doc.StepWall = append(doc.StepWall, s.WallNs)
+	}
+	sort.Float64s(walls)
+	steps := float64(len(samples))
+	doc.Metrics["step.wall_ns.mean"] = sum / steps
+	doc.Metrics["step.wall_ns.p50"] = walls[len(walls)/2]
+	doc.Metrics["step.wall_ns.max"] = mx
+
+	for ph, name := range meta.Phases {
+		var ns, sb, sm, rb, rm int64
+		for _, s := range samples {
+			ns += s.PhaseNs[ph]
+			sm += s.SentMsgs[ph]
+			sb += s.SentBytes[ph]
+			rm += s.RecvMsgs[ph]
+			rb += s.RecvBytes[ph]
+		}
+		if ns == 0 && sm == 0 && rm == 0 {
+			continue
+		}
+		pre := "phase." + name + "."
+		doc.Metrics[pre+"ns_per_step"] = float64(ns) / steps
+		doc.Metrics[pre+"sent_msgs_per_step"] = float64(sm) / steps
+		doc.Metrics[pre+"sent_bytes_per_step"] = float64(sb) / steps
+		doc.Metrics[pre+"recv_msgs_per_step"] = float64(rm) / steps
+		doc.Metrics[pre+"recv_bytes_per_step"] = float64(rb) / steps
+	}
+
+	last := samples[len(samples)-1]
+	doc.Metrics["comm.s.measured"] = float64(last.SMeasured)
+	doc.Metrics["comm.w.measured_bytes"] = float64(last.WMeasured)
+	if last.SLowerBound > 0 {
+		doc.Metrics["comm.s.over_bound"] = float64(last.SMeasured) / float64(last.SLowerBound)
+	}
+	if last.WLowerBound > 0 {
+		doc.Metrics["comm.w.over_bound"] = float64(last.WMeasured) / float64(last.WLowerBound)
+	}
+	doc.Metrics["timeline.dropped"] = float64(last.TimelineDropped)
+	var heapMax, gorMax int64
+	for _, s := range samples {
+		if s.HeapBytes > heapMax {
+			heapMax = s.HeapBytes
+		}
+		if s.Goroutines > gorMax {
+			gorMax = s.Goroutines
+		}
+	}
+	doc.Metrics["heap.max_bytes"] = float64(heapMax)
+	doc.Metrics["goroutines.max"] = float64(gorMax)
+	return doc
+}
+
+// benchDoc mirrors every section a BENCH_*.json may carry, across all
+// committed vintages (PR2: kernels/speedups/timesteps; PR3: +transport;
+// PR4: +worker sections; PR6: +kind/metrics/recorder). Unknown fields
+// are ignored, absent ones fold to nothing.
+type benchDoc struct {
+	Kind     string             `json:"kind"`
+	Metrics  map[string]float64 `json:"metrics"`
+	Speedups map[string]float64 `json:"speedups"`
+	Kernels  []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	} `json:"kernels"`
+	Timesteps []struct {
+		Algorithm     string  `json:"algorithm"`
+		Particles     int     `json:"particles"`
+		Ranks         int     `json:"ranks"`
+		Replication   int     `json:"replication"`
+		WallNsPerStep float64 `json:"wall_ns_per_step"`
+	} `json:"timesteps"`
+	Transport []struct {
+		Algorithm        string  `json:"algorithm"`
+		TypedNsPerStep   float64 `json:"typed_ns_per_step"`
+		EncodedNsPerStep float64 `json:"encoded_ns_per_step"`
+		Speedup          float64 `json:"speedup"`
+	} `json:"transport"`
+	WorkerKernels []struct {
+		Name    string  `json:"name"`
+		Workers int     `json:"workers"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"worker_kernels"`
+	WorkerScaling []struct {
+		Algorithm     string  `json:"algorithm"`
+		Ranks         int     `json:"ranks"`
+		Workers       int     `json:"workers"`
+		WallNsPerStep float64 `json:"wall_ns_per_step"`
+	} `json:"worker_scaling"`
+}
+
+// FoldBenchJSON folds a bench report of any vintage into the flat
+// metric namespace. New reports carry an explicit "metrics" map (taken
+// as-is, it wins on collisions); the structured sections fold uniformly
+// for old and new files, which is what turns BENCH_PR2–4.json into
+// comparable baselines.
+func FoldBenchJSON(data []byte) (map[string]float64, error) {
+	var d benchDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("record: bad bench report: %w", err)
+	}
+	m := map[string]float64{}
+	for _, k := range d.Kernels {
+		m["kernel."+k.Name+".ns_per_op"] = k.NsPerOp
+		m["kernel."+k.Name+".allocs_per_op"] = float64(k.AllocsPerOp)
+	}
+	for name, v := range d.Speedups {
+		m["speedup."+name] = v
+	}
+	for _, ts := range d.Timesteps {
+		m[fmt.Sprintf("timestep.%s.n%d.p%d.c%d.wall_ns_per_step",
+			ts.Algorithm, ts.Particles, ts.Ranks, ts.Replication)] = ts.WallNsPerStep
+	}
+	for _, tr := range d.Transport {
+		pre := "transport." + tr.Algorithm + "."
+		m[pre+"typed_ns_per_step"] = tr.TypedNsPerStep
+		m[pre+"encoded_ns_per_step"] = tr.EncodedNsPerStep
+		m[pre+"speedup"] = tr.Speedup
+	}
+	for _, wk := range d.WorkerKernels {
+		m[fmt.Sprintf("pool.%s.w%d.ns_per_op", wk.Name, wk.Workers)] = wk.NsPerOp
+	}
+	for _, ws := range d.WorkerScaling {
+		m[fmt.Sprintf("workers.%s.p%d.w%d.wall_ns_per_step",
+			ws.Algorithm, ws.Ranks, ws.Workers)] = ws.WallNsPerStep
+	}
+	for name, v := range d.Metrics {
+		m[name] = v
+	}
+	return m, nil
+}
+
+// LoadMetricDoc loads path and folds it into a metric document, sniffing
+// the format: a JSONL flight recording (first line kind ==
+// "canbody-recording", ".gz" transparently decompressed) or a bench
+// report (a single JSON object).
+func LoadMetricDoc(path string) (MetricDoc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return MetricDoc{}, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return MetricDoc{}, fmt.Errorf("record: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return MetricDoc{}, fmt.Errorf("record: %s: %w", path, err)
+	}
+	if firstLineIsRecording(data) {
+		meta, samples, err := ReadRecording(bytes.NewReader(data))
+		if err != nil {
+			return MetricDoc{}, fmt.Errorf("record: %s: %w", path, err)
+		}
+		doc := FromRecording(meta, samples)
+		doc.Path = path
+		return doc, nil
+	}
+	m, err := FoldBenchJSON(data)
+	if err != nil {
+		return MetricDoc{}, fmt.Errorf("record: %s: %w", path, err)
+	}
+	return MetricDoc{Path: path, Kind: "bench", Metrics: m}, nil
+}
+
+func firstLineIsRecording(data []byte) bool {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	var meta Meta
+	return json.Unmarshal(line, &meta) == nil && meta.Kind == DocKind
+}
+
+// Direction classifies how a metric regresses.
+type Direction int
+
+const (
+	// Neutral metrics are informational and never gate.
+	Neutral Direction = iota
+	// WorseUp metrics regress when they grow (times, bytes, allocs,
+	// drops, message counts).
+	WorseUp
+	// WorseDown metrics regress when they shrink (speedups).
+	WorseDown
+)
+
+func (d Direction) String() string {
+	switch d {
+	case WorseUp:
+		return "worse-if-up"
+	case WorseDown:
+		return "worse-if-down"
+	default:
+		return "neutral"
+	}
+}
+
+// worseUpMarks are substrings that classify a metric as WorseUp. Comm
+// counters are included: they are deterministic per configuration, so
+// growth against a same-key baseline is a real protocol regression, not
+// noise.
+var worseUpMarks = []string{
+	"ns_per_op", "ns_per_step", "wall_ns", "_ns",
+	"allocs", "bytes", "msgs",
+	"dropped", "goroutines", "over_bound", "comm.s.measured",
+}
+
+// DirectionOf classifies a metric name. "overhead_frac" and "steps"
+// style metrics fall through to Neutral.
+func DirectionOf(name string) Direction {
+	if strings.Contains(name, "speedup") {
+		return WorseDown
+	}
+	for _, mark := range worseUpMarks {
+		if strings.Contains(name, mark) {
+			return WorseUp
+		}
+	}
+	return Neutral
+}
+
+// DiffRow is one compared metric.
+type DiffRow struct {
+	Name      string
+	Old, New  float64
+	Ratio     float64 // New/Old; +Inf when Old == 0 and New > 0
+	Direction Direction
+	Threshold float64 // the gate applied (0 = report only)
+	Breach    bool
+}
+
+// DiffOptions configures the gate.
+type DiffOptions struct {
+	// Threshold is the default regression ratio: a WorseUp metric
+	// breaches when New > Old·Threshold, a WorseDown one when
+	// New < Old/Threshold. 0 disables gating (report-only).
+	Threshold float64
+	// PerMetric overrides the threshold for exact metric names.
+	PerMetric map[string]float64
+}
+
+// Diff compares the metrics present in both docs and returns rows
+// sorted by name, breaches first. When both docs carry per-step wall
+// series, an additional "step.wall_ns.aligned_p50" row compares the
+// medians over the step indices the runs share — the step-aligned
+// comparison that stays fair when one recording is longer.
+func Diff(oldDoc, newDoc MetricDoc, opt DiffOptions) []DiffRow {
+	var rows []DiffRow
+	add := func(name string, ov, nv float64) {
+		row := DiffRow{Name: name, Old: ov, New: nv, Direction: DirectionOf(name)}
+		switch {
+		case ov != 0:
+			row.Ratio = nv / ov
+		case nv == 0:
+			row.Ratio = 1
+		default:
+			row.Ratio = math.Inf(1)
+		}
+		thr := opt.Threshold
+		if t, ok := opt.PerMetric[name]; ok {
+			thr = t
+		}
+		row.Threshold = thr
+		if thr > 0 {
+			switch row.Direction {
+			case WorseUp:
+				row.Breach = row.Ratio > thr
+			case WorseDown:
+				row.Breach = row.Ratio < 1/thr
+			}
+		}
+		rows = append(rows, row)
+	}
+	for name, ov := range oldDoc.Metrics {
+		if nv, ok := newDoc.Metrics[name]; ok {
+			add(name, ov, nv)
+		}
+	}
+	if n := min(len(oldDoc.StepWall), len(newDoc.StepWall)); n > 0 {
+		add("step.wall_ns.aligned_p50", medianI64(oldDoc.StepWall[:n]), medianI64(newDoc.StepWall[:n]))
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Breach != rows[j].Breach {
+			return rows[i].Breach
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+func medianI64(v []int64) float64 {
+	s := append([]int64(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return float64(s[len(s)/2])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+//go:build obsdebug
+
+package record
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// guard is the obsdebug-build owner check for the recording hot path.
+// The package contract says one goroutine per run calls
+// RecordCumulative; the first such call binds the owner and any call
+// from a different goroutine panics. RunBegin/RunEnd release the
+// binding, which is how ownership hands over between chunked runs (each
+// comm.Run spawns a fresh rank-0 goroutine) and to the driver for the
+// held-back final sample.
+type guard struct {
+	owner atomic.Int64 // goroutine id of the owner; 0 = unbound
+}
+
+func (g *guard) check() {
+	id := goroutineID()
+	if g.owner.CompareAndSwap(0, id) {
+		return
+	}
+	if own := g.owner.Load(); own != id {
+		panic(fmt.Sprintf(
+			"record: Recorder owned by goroutine %d sampled from goroutine %d (one recording goroutine per run; see RunBegin/RunEnd)",
+			own, id))
+	}
+}
+
+func (g *guard) release() { g.owner.Store(0) }
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine N [running]:"). Debug-only; there is no supported API.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		panic("record: unparsable goroutine stack header")
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		panic("record: unparsable goroutine id: " + err.Error())
+	}
+	return id
+}

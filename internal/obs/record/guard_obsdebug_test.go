@@ -1,0 +1,46 @@
+//go:build obsdebug
+
+package record
+
+import "testing"
+
+func TestGuardPanicsOnForeignGoroutine(t *testing.T) {
+	r := New(Meta{Phases: []string{"a"}}, 8)
+	r.RunBegin()
+	stamp(r, 1, 1) // this goroutine becomes the owner
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		stamp(r, 2, 1)
+	}()
+	if !<-panicked {
+		t.Fatal("recording from a second goroutine did not panic under obsdebug")
+	}
+	r.RunEnd(nil)
+}
+
+func TestGuardHandsOverAcrossRuns(t *testing.T) {
+	// Chunked runs record from a fresh rank-0 goroutine each time;
+	// RunBegin/RunEnd must release the binding so that is legal.
+	r := New(Meta{Phases: []string{"a"}}, 8)
+	for i := int64(1); i <= 3; i++ {
+		r.RunBegin()
+		done := make(chan any, 1)
+		go func() {
+			defer func() { done <- recover() }()
+			stamp(r, i, 1)
+		}()
+		if p := <-done; p != nil {
+			t.Fatalf("run %d panicked: %v", i, p)
+		}
+		r.RunEnd(nil)
+	}
+	// RunEnd(final) records from the driver goroutine — also a handover.
+	r.RunBegin()
+	var final Sample
+	final.SentMsgs[0] = 10
+	r.RunEnd(&final)
+	if r.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", r.Total())
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !obsdebug
+
+package record
+
+// guard is the release-build owner check: a zero-size no-op. Build with
+// -tags obsdebug to enforce the "one recording goroutine per run"
+// contract at runtime.
+type guard struct{}
+
+func (g *guard) check()   {}
+func (g *guard) release() {}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/obs/record"
 	"repro/internal/trace"
 )
 
@@ -28,8 +29,22 @@ type CommMatrixSnapshot = obs.MatrixSnapshot
 
 // LiveServer is the embedded HTTP telemetry hub: /metrics (Prometheus
 // text), /snapshot.json, /trace (Chrome trace JSON, safe mid-run),
-// /matrix.json and /debug/pprof. Create with NewLiveServer or ServeLive.
+// /matrix.json, /series.json, /series/stream and /debug/pprof. Create
+// with NewLiveServer or ServeLive.
 type LiveServer = live.Server
+
+// Recorder is the per-step flight recorder of an observed simulation: a
+// bounded ring of one Sample per timestep, queryable mid-run (Window,
+// Last), streamable to a JSONL file (StreamTo/CloseStream) and served
+// by the live hub as /series.json and /series/stream.
+type Recorder = record.Recorder
+
+// RecorderSample is one recorded timestep; see Recorder.
+type RecorderSample = record.Sample
+
+// RecorderMeta is the recording header: the configuration the samples
+// describe plus the positional phase-name vocabulary.
+type RecorderMeta = record.Meta
 
 // ObserveOptions enables per-event observability for a simulation: a
 // per-rank event timeline and a metrics registry, both populated by the
@@ -40,6 +55,11 @@ type ObserveOptions struct {
 	// events are overwritten once exceeded (the Timeline reports how
 	// many were dropped). 0 selects the default, 64 Ki events per rank.
 	TimelineCapacity int
+	// RecordCapacity is the flight recorder's sample-ring capacity in
+	// steps; the oldest samples fall out of the ring once exceeded
+	// (an attached JSONL stream keeps them all). 0 selects the default,
+	// 4096 steps.
+	RecordCapacity int
 }
 
 // observer builds the obs bundle for a configured simulation.
@@ -53,18 +73,45 @@ func (c Config) observer() *obs.Observer {
 	return o
 }
 
+// newRecorder builds the flight recorder for a configured simulation,
+// with the header describing the resolved run configuration. Nil when
+// observation is off — the recorder samples the observer's matrix and
+// metrics, so it cannot outlive it.
+func (c Config) newRecorder(o *obs.Observer) *record.Recorder {
+	if c.Observe == nil || o == nil {
+		return nil
+	}
+	return record.New(record.Meta{
+		Algorithm: c.resolveAlgorithm().String(),
+		N:         c.N,
+		P:         c.P,
+		C:         c.C,
+		Workers:   c.Workers,
+		Dim:       c.Dim,
+		Cutoff:    c.Cutoff,
+		Phases:    trace.PhaseNames(),
+	}, c.Observe.RecordCapacity)
+}
+
 // EnableObservation turns on observability for an existing simulation —
 // checkpoint restores (Load) construct simulations without passing
 // through Config.Observe. Passing nil enables the defaults. Events
-// record from the next Run; any previously recorded timeline is
-// discarded.
+// record from the next Run; any previously recorded timeline or
+// step series is discarded.
 func (s *Simulation) EnableObservation(opts *ObserveOptions) {
 	if opts == nil {
 		opts = &ObserveOptions{}
 	}
 	s.cfg.Observe = opts
 	s.observer = s.cfg.observer()
+	s.recorder = s.cfg.newRecorder(s.observer)
 }
+
+// Recorder returns the simulation's flight recorder — one structured
+// sample per completed timestep — or nil when Config.Observe is unset.
+// Attach a JSONL sink with Recorder().StreamTo before Run to persist
+// the series; query Window/Last mid-run for the live view.
+func (s *Simulation) Recorder() *Recorder { return s.recorder }
 
 // Timeline returns the per-rank event timeline of this simulation, or
 // nil when Config.Observe is unset. The timeline spans all Run calls of
@@ -132,7 +179,9 @@ func (s *Simulation) NewLiveServer() (*LiveServer, error) {
 	if s.observer == nil {
 		return nil, errNotObserved
 	}
-	return live.New(s.observer), nil
+	srv := live.New(s.observer)
+	srv.AttachRecorder(s.recorder)
+	return srv, nil
 }
 
 // ServeLive starts the telemetry hub on addr (e.g. "localhost:8080", or
@@ -165,5 +214,6 @@ func (s *Simulation) AttachLive(srv *LiveServer) error {
 		return errNotObserved
 	}
 	srv.Attach(s.observer)
+	srv.AttachRecorder(s.recorder)
 	return nil
 }
