@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obsdebug benchguard benchsmoke httpsmoke benchdiff bench
+.PHONY: check build vet test race obsdebug benchguard benchsmoke httpsmoke netsmoke benchdiff bench
 
-check: build vet test race obsdebug benchguard benchsmoke httpsmoke benchdiff
+check: build vet test race obsdebug benchguard benchsmoke httpsmoke netsmoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ benchsmoke:
 # conserves the report's per-phase traffic bitwise.
 httpsmoke:
 	$(GO) run ./cmd/bench -httpsmoke
+
+# Multi-process transport gate: run each timestep loop once in-process
+# and once spanned across OS processes over TCP loopback (-spawn), and
+# require bitwise-identical checkpoints plus exactly matching
+# communication accounting (obsdiff -exact on message/byte counts and
+# measured S/W). Catches any divergence the wire transport introduces.
+netsmoke:
+	sh scripts/netsmoke.sh
 
 # Perf-regression gate: run the quick bench (timesteps, transport,
 # recorder overhead) and diff the result against the committed baseline

@@ -37,6 +37,32 @@ const (
 // CollectiveAlg selects the collective implementation of the runtime.
 type CollectiveAlg = comm.CollectiveAlg
 
+// ProcGroup is one OS process's membership in a multi-process rank
+// mesh; see JoinProcs.
+type ProcGroup = comm.Proc
+
+// ProcListener is a bound-but-unformed rendezvous for spawning
+// follower processes; see ListenProcs.
+type ProcListener = comm.ProcListener
+
+// JoinProcs forms (or joins) a mesh of `procs` OS processes at the
+// rendezvous address — "host:port" for TCP, a filesystem path (or
+// "unix:path") for unix-domain sockets — each hosting ranksPerProc
+// world ranks. The process that binds the address becomes proc 0;
+// every process of one simulation must pass the same procs and
+// ranksPerProc. Hand the result to Config.Proc (its WorldSize must
+// equal Config.P) and Close it after the last run.
+func JoinProcs(rendezvous string, procs, ranksPerProc int) (*ProcGroup, error) {
+	return comm.JoinProcs(rendezvous, procs, ranksPerProc)
+}
+
+// ListenProcs binds the rendezvous address without waiting for peers,
+// so a launcher can bind port 0, read Addr, spawn followers pointing
+// at it, and then Accept to become proc 0.
+func ListenProcs(rendezvous string, procs, ranksPerProc int) (*ProcListener, error) {
+	return comm.ListenProcs(rendezvous, procs, ranksPerProc)
+}
+
 // Collective algorithms: binomial Tree (default), Flat linear (the
 // paper's "no-tree" configuration), and Ring pipelines.
 const (
@@ -172,6 +198,14 @@ type Config struct {
 	// Simulation.Timeline and Simulation.MetricsSnapshot. Nil (the
 	// default) keeps the hot paths instrumentation-free.
 	Observe *ObserveOptions
+	// Proc, when non-nil, spans runs across the OS processes of a
+	// socket mesh (JoinProcs): this process executes only its share of
+	// the P ranks and remote traffic travels TCP or unix sockets.
+	// Proc.WorldSize() must equal P, and every process of the mesh must
+	// construct an identical Simulation and make the same Run calls —
+	// runs are collective. Results, reports and measured S/W are
+	// bit-identical to the single-process run.
+	Proc *ProcGroup
 }
 
 func (c Config) withDefaults() Config {
@@ -233,6 +267,7 @@ func (c Config) params(steps int) core.Params {
 		Overlap: c.Overlap,
 		Encoded: c.EncodedTransport,
 		Workers: c.Workers,
+		Proc:    c.Proc,
 	}
 }
 
@@ -281,6 +316,10 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	if alg := cfg.resolveAlgorithm(); (alg == CACutoff || alg == Midpoint) && cfg.Cutoff == 0 {
 		return nil, fmt.Errorf("nbody: %v requires a positive cutoff", alg)
+	}
+	if cfg.Proc != nil && cfg.Proc.WorldSize() != cfg.P {
+		return nil, fmt.Errorf("nbody: P=%d but the process mesh spans %d ranks (%d procs × %d per proc)",
+			cfg.P, cfg.Proc.WorldSize(), cfg.Proc.NumProcs(), cfg.Proc.RanksPerProc())
 	}
 	s := &Simulation{cfg: cfg, particles: cfg.initialParticles()}
 	if err := s.dryRun(); err != nil {

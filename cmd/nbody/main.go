@@ -53,20 +53,50 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		httpAddr    = flag.String("http", "", "serve the live telemetry hub on this address (e.g. localhost:8080): /metrics, /snapshot.json, /trace, /matrix.json, /debug/pprof")
 		matrixOut   = flag.Bool("matrix", false, "print the per-phase src x dst communication matrix after the run")
+
+		ranksPerProc = flag.Int("ranks-per-proc", 0, "span the simulation across OS processes, this many ranks per process (0 = all ranks in-process); requires -rendezvous or -spawn")
+		rendezvous   = flag.String("rendezvous", "", "mesh rendezvous address: host:port for TCP, a filesystem path (or unix:path) for unix sockets; every process of one run names the same address")
+		spawn        = flag.Bool("spawn", false, "spawn the p/ranks-per-proc - 1 follower processes automatically (re-executes this binary over loopback); the spawner becomes proc 0")
 	)
 	flag.Parse()
+
+	var proc *nbody.ProcGroup
+	if *ranksPerProc > 0 {
+		if *loadFile != "" {
+			log.Fatal("-load is not supported with -ranks-per-proc (distributed resume)")
+		}
+		proc = setupMesh(*p, *ranksPerProc, *rendezvous, *spawn)
+		defer proc.Close()
+	} else if *spawn || *rendezvous != "" {
+		log.Fatal("-spawn and -rendezvous require -ranks-per-proc")
+	}
+	follower := proc != nil && proc.ID() != 0
+	if follower {
+		// Followers compute their share of the ranks and stay quiet:
+		// every output plane (files, HTTP, report prints, verification)
+		// lives on proc 0, which holds the merged state. Observation
+		// stays on wherever the shared flag set enables it, so follower
+		// traffic reaches proc 0's merged comm matrix.
+		quiet = true
+		*pprofAddr, *httpAddr = "", ""
+		*trajFile, *saveFile = "", ""
+		*traceOut, *traceJSONL, *metricsOut, *recordOut = "", "", "", ""
+		*matrixOut = false
+		*verify = false
+	}
 
 	if *pprofAddr != "" {
 		go func() {
 			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
 		}()
-		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
+		say("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	observing := *traceOut != "" || *traceJSONL != "" || *metricsOut != "" || *httpAddr != "" || *matrixOut || *recordOut != ""
 
 	cfg := nbody.Config{
 		N: *n, P: *p, C: *c, Workers: *workers, Dim: *dim, Cutoff: *cutoff,
 		DT: *dt, BoxLength: *boxL, Seed: *seed, Lattice: *lattice,
+		Proc: proc,
 	}
 	if observing {
 		cfg.Observe = &nbody.ObserveOptions{TimelineCapacity: *traceCap}
@@ -124,7 +154,7 @@ func main() {
 			sim.EnableObservation(&nbody.ObserveOptions{TimelineCapacity: *traceCap})
 		}
 		cfg = sim.Config()
-		fmt.Printf("resumed from %s at step %d\n", *loadFile, sim.Steps())
+		say("resumed from %s at step %d\n", *loadFile, sim.Steps())
 	} else {
 		sim, err = nbody.New(cfg)
 		if err != nil {
@@ -138,7 +168,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer hub.Close()
-		fmt.Printf("live telemetry on http://%s/ (metrics, snapshot.json, trace, matrix.json, series.json, debug/pprof)\n", bound)
+		say("live telemetry on http://%s/ (metrics, snapshot.json, trace, matrix.json, series.json, debug/pprof)\n", bound)
 	}
 
 	var recordSink io.WriteCloser
@@ -165,7 +195,7 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("trajectory (%d frames) written to %s\n", traj.Frames(), *trajFile)
+			say("trajectory (%d frames) written to %s\n", traj.Frames(), *trajFile)
 		}()
 		traj = nbody.NewTrajectoryWriter(f)
 		if err := sim.WriteFrame(traj); err != nil {
@@ -196,7 +226,7 @@ func main() {
 
 	start := time.Now()
 	if *observe > 0 {
-		fmt.Printf("%-8s %12s %12s %12s %12s\n", "step", "kinetic", "potential", "total", "temperature")
+		say("%-8s %12s %12s %12s %12s\n", "step", "kinetic", "potential", "total", "temperature")
 		for done := 0; done < *steps; {
 			chunk := *observe
 			if done+chunk > *steps {
@@ -207,7 +237,7 @@ func main() {
 			}
 			done += chunk
 			s := sim.Observe()
-			fmt.Printf("%-8d %12.6f %12.6f %12.6f %12.6f\n", s.Step, s.Kinetic, s.Potential, s.Total, s.Temperature)
+			say("%-8d %12.6f %12.6f %12.6f %12.6f\n", s.Step, s.Kinetic, s.Potential, s.Total, s.Temperature)
 			if traj != nil {
 				if err := sim.WriteFrame(traj); err != nil {
 					log.Fatal(err)
@@ -226,14 +256,13 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("algorithm=%v p=%d c=%d n=%d steps=%d dim=%d cutoff=%g\n",
+	say("algorithm=%v p=%d c=%d n=%d steps=%d dim=%d cutoff=%g\n",
 		cfg.Algorithm, cfg.P, cfg.C, cfg.N, *steps, cfg.Dim, cfg.Cutoff)
-	fmt.Printf("wall time: %v (%v/step)\n\n", elapsed, elapsed/time.Duration(max(1, *steps)))
-	fmt.Print(sim.Report())
+	say("wall time: %v (%v/step)\n\n", elapsed, elapsed/time.Duration(max(1, *steps)))
+	say("%s", sim.Report())
 
 	if *matrixOut {
-		fmt.Println()
-		fmt.Print(sim.CommMatrix().Table())
+		say("\n%s", sim.CommMatrix().Table())
 	}
 
 	if stopFlush != nil {
@@ -241,20 +270,20 @@ func main() {
 		if err := writeMetricsFile(sim, *metricsOut); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		say("metrics snapshot written to %s\n", *metricsOut)
 	}
 	if *traceOut != "" {
 		if err := writeTimeline(*traceOut, sim.WriteTrace); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("Chrome trace (%d ranks, %d events dropped) written to %s — open at https://ui.perfetto.dev\n",
+		say("Chrome trace (%d ranks, %d events dropped) written to %s — open at https://ui.perfetto.dev\n",
 			sim.Timeline().Ranks(), sim.Timeline().Dropped(), *traceOut)
 	}
 	if *traceJSONL != "" {
 		if err := writeTimeline(*traceJSONL, sim.Timeline().WriteJSONL); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("JSONL timeline written to %s\n", *traceJSONL)
+		say("JSONL timeline written to %s\n", *traceJSONL)
 	}
 	if recordSink != nil {
 		if err := sim.Recorder().CloseStream(); err != nil {
@@ -263,7 +292,7 @@ func main() {
 		if err := recordSink.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("flight recording (%d steps) written to %s\n", sim.Recorder().Total(), *recordOut)
+		say("flight recording (%d steps) written to %s\n", sim.Recorder().Total(), *recordOut)
 	}
 
 	if *saveFile != "" {
@@ -277,7 +306,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("checkpoint written to %s\n", *saveFile)
+		say("checkpoint written to %s\n", *saveFile)
 	}
 
 	if *verify {
@@ -285,12 +314,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nverification vs. serial reference: worst deviation %.3g\n", worst)
+		say("\nverification vs. serial reference: worst deviation %.3g\n", worst)
 		if worst > 1e-9 {
-			fmt.Println("verification FAILED")
+			say("verification FAILED\n")
 			os.Exit(1)
 		}
-		fmt.Println("verification OK")
+		say("verification OK\n")
+	}
+}
+
+// quiet mutes the run's stdout reporting; follower processes of a
+// multi-process run set it so only proc 0 speaks.
+var quiet bool
+
+// say is fmt.Printf gated on quiet.
+func say(format string, args ...any) {
+	if !quiet {
+		fmt.Printf(format, args...)
 	}
 }
 

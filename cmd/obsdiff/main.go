@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	obsdiff [-threshold R] [-m name=ratio ...] [-require N] OLD NEW
+//	obsdiff [-threshold R] [-m name=ratio ...] [-exact substr ...] [-require N] OLD NEW
 //
 // A WorseUp metric (times, bytes, allocs) breaches when new >
 // old·threshold; a WorseDown metric (speedups) when new <
@@ -23,6 +23,16 @@ import (
 
 	"repro/internal/obs/record"
 )
+
+// stringsFlag collects a repeatable string flag.
+type stringsFlag []string
+
+func (f *stringsFlag) String() string { return strings.Join(*f, ",") }
+
+func (f *stringsFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
 
 // perMetricFlag collects repeated -m name=ratio overrides.
 type perMetricFlag map[string]float64
@@ -46,6 +56,8 @@ func main() {
 	perMetric := perMetricFlag{}
 	threshold := flag.Float64("threshold", 1.5, "default regression ratio: worse-if-up metrics fail when new > old*threshold, worse-if-down when new < old/threshold (0 = report only)")
 	flag.Var(perMetric, "m", "per-metric threshold override, name=ratio (repeatable)")
+	var exact stringsFlag
+	flag.Var(&exact, "exact", "metric-name substring that must match exactly — any difference breaches (repeatable); use for deterministic counts that must be transport-invariant")
 	require := flag.Int("require", 1, "minimum number of common metrics the two artifacts must share")
 	quiet := flag.Bool("q", false, "print only breaching rows")
 	flag.Usage = func() {
@@ -75,6 +87,7 @@ func main() {
 	rows := record.Diff(oldDoc, newDoc, record.DiffOptions{
 		Threshold: *threshold,
 		PerMetric: perMetric,
+		Exact:     exact,
 	})
 	if len(rows) < *require {
 		fmt.Fprintf(os.Stderr, "obsdiff: only %d common metrics between %s and %s (require %d) — nothing to gate\n",

@@ -46,17 +46,54 @@ func main() {
 		recordOut  = flag.String("record-out", "", "stream one per-step flight recording (JSON lines) per configuration, with .c<N> inserted before the extension; a .gz suffix gzip-compresses")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		httpAddr   = flag.String("http", "", "serve the live telemetry hub on this address; the hub re-attaches to each configuration as the sweep progresses")
+
+		ranksPerProc = flag.Int("ranks-per-proc", 0, "span each configuration across OS processes, this many ranks per process (0 = all ranks in-process); requires -rendezvous")
+		rendezvous   = flag.String("rendezvous", "", "mesh rendezvous address (host:port for TCP, a path or unix:path for unix sockets); start every process by hand with identical flags — sweep does not self-spawn")
 	)
 	flag.Parse()
+
+	var proc *nbody.ProcGroup
+	if *ranksPerProc > 0 {
+		if *rendezvous == "" {
+			log.Fatal("-ranks-per-proc requires -rendezvous: start p/ranks-per-proc sweep processes by hand, each with the same flags")
+		}
+		if *autotune || *autotuneW {
+			// Autotuning picks the next configuration from measured wall
+			// time, which differs across processes — the mesh members would
+			// diverge on the first disagreement.
+			log.Fatal("-autotune and -autotune-workers are incompatible with -ranks-per-proc")
+		}
+		if *p%*ranksPerProc != 0 {
+			log.Fatalf("-ranks-per-proc %d does not divide -p %d", *ranksPerProc, *p)
+		}
+		var err error
+		proc, err = nbody.JoinProcs(*rendezvous, *p / *ranksPerProc, *ranksPerProc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer proc.Close()
+		if proc.ID() != 0 {
+			// Followers stay quiet and write no files: the merged report
+			// and every output plane live on proc 0. The sweep loop itself
+			// (the c values, their order, infeasibility skips) is derived
+			// from the shared flag set, so all processes walk it in
+			// lockstep.
+			quiet = true
+			*pprofAddr, *httpAddr = "", ""
+			*traceOut, *metricsOut, *recordOut = "", "", ""
+		}
+	} else if *rendezvous != "" {
+		log.Fatal("-rendezvous requires -ranks-per-proc")
+	}
 
 	if *pprofAddr != "" {
 		go func() {
 			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
 		}()
-		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
+		say("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	cfg := nbody.Config{N: *n, P: *p, Workers: *workers, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0}
+	cfg := nbody.Config{N: *n, P: *p, Workers: *workers, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0, Proc: proc}
 	if *traceOut != "" || *metricsOut != "" || *httpAddr != "" || *recordOut != "" {
 		cfg.Observe = &nbody.ObserveOptions{}
 	}
@@ -72,7 +109,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer hub.Close()
-		fmt.Printf("live telemetry on http://%s/\n", bound)
+		say("live telemetry on http://%s/\n", bound)
 	}
 
 	if *autotuneW {
@@ -80,15 +117,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-12s %14s\n", "workers", "time/step")
+		say("%-12s %14s\n", "workers", "time/step")
 		for _, r := range results {
 			if r.Err != nil {
-				fmt.Printf("workers=%-4d %14s (%v)\n", r.Workers, "-", r.Err)
+				say("workers=%-4d %14s (%v)\n", r.Workers, "-", r.Err)
 				continue
 			}
-			fmt.Printf("workers=%-4d %14v\n", r.Workers, r.PerStep)
+			say("workers=%-4d %14v\n", r.Workers, r.PerStep)
 		}
-		fmt.Printf("autotuned worker-pool width: workers=%d\n", best)
+		say("autotuned worker-pool width: workers=%d\n", best)
 		return
 	}
 
@@ -97,15 +134,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-6s %14s\n", "c", "time/step")
+		say("%-6s %14s\n", "c", "time/step")
 		for _, r := range results {
 			if r.Err != nil {
-				fmt.Printf("c=%-4d %14s (%v)\n", r.C, "-", r.Err)
+				say("c=%-4d %14s (%v)\n", r.C, "-", r.Err)
 				continue
 			}
-			fmt.Printf("c=%-4d %14v\n", r.C, r.PerStep)
+			say("c=%-4d %14v\n", r.C, r.PerStep)
 		}
-		fmt.Printf("autotuned replication factor: c=%d\n", best)
+		say("autotuned replication factor: c=%d\n", best)
 		return
 	}
 
@@ -118,15 +155,15 @@ func main() {
 		cs = append(cs, c)
 	}
 
-	fmt.Printf("real-execution sweep: n=%d p=%d dim=%d cutoff=%g steps=%d\n",
+	say("real-execution sweep: n=%d p=%d dim=%d cutoff=%g steps=%d\n",
 		*n, *p, *dim, *cutoff, *steps)
-	fmt.Printf("%-6s %14s %16s %14s\n", "c", "time/step", "S (msg events)", "W (bytes)")
+	say("%-6s %14s %16s %14s\n", "c", "time/step", "S (msg events)", "W (bytes)")
 	for _, c := range cs {
 		run := cfg
 		run.C = c
 		sim, err := nbody.New(run)
 		if err != nil {
-			fmt.Printf("c=%-4d infeasible: %v\n", c, err)
+			say("c=%-4d infeasible: %v\n", c, err)
 			continue
 		}
 		if hub != nil {
@@ -152,20 +189,20 @@ func main() {
 		}
 		per := time.Since(start) / time.Duration(*steps)
 		rep := sim.Report()
-		fmt.Printf("c=%-4d %14v %16d %14d\n", c, per, rep.S()/int64(*steps), rep.W()/int64(*steps))
+		say("c=%-4d %14v %16d %14d\n", c, per, rep.S()/int64(*steps), rep.W()/int64(*steps))
 		if *traceOut != "" {
 			path := perConfigPath(*traceOut, c)
 			if err := writeFile(path, sim.WriteTrace); err != nil {
 				log.Fatalf("c=%d: %v", c, err)
 			}
-			fmt.Printf("       trace written to %s\n", path)
+			say("       trace written to %s\n", path)
 		}
 		if *metricsOut != "" {
 			path := perConfigPath(*metricsOut, c)
 			if err := writeFile(path, sim.WriteMetrics); err != nil {
 				log.Fatalf("c=%d: %v", c, err)
 			}
-			fmt.Printf("       metrics written to %s\n", path)
+			say("       metrics written to %s\n", path)
 		}
 		if recordSink != nil {
 			if err := sim.Recorder().CloseStream(); err != nil {
@@ -174,8 +211,19 @@ func main() {
 			if err := recordSink.Close(); err != nil {
 				log.Fatalf("c=%d: %v", c, err)
 			}
-			fmt.Printf("       recording written to %s\n", recordPath)
+			say("       recording written to %s\n", recordPath)
 		}
+	}
+}
+
+// quiet mutes the sweep's stdout reporting; follower processes of a
+// multi-process sweep set it so only proc 0 speaks.
+var quiet bool
+
+// say is fmt.Printf gated on quiet.
+func say(format string, args ...any) {
+	if !quiet {
+		fmt.Printf(format, args...)
 	}
 }
 

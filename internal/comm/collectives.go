@@ -220,6 +220,13 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	for step := 0; step < n-1; step++ {
 		recv := c.Sendrecv(next, blk, prev, tagAllgather)
 		rank, payload := unframeBlock(recv)
+		if out[rank] != nil {
+			// A duplicate origin means the transport delivered the ring
+			// stream out of order — catch it here, where the origin label
+			// makes the diagnosis obvious, instead of failing later on an
+			// empty slot.
+			panic(fmt.Sprintf("comm: allgather rank %d step %d: duplicate block for rank %d", c.rank, step, rank))
+		}
 		out[rank] = payload
 		blk = recv
 	}

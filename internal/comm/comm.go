@@ -50,6 +50,11 @@ type Options struct {
 	// disables observation; the instrumented paths then cost only nil
 	// checks.
 	Observe *obs.Observer
+	// MailboxCap overrides the per-(src,dst) mailbox buffer capacity:
+	// 0 means the default (8), negative means unbuffered. Tests shrink
+	// it to prove point-to-point patterns correct on any
+	// bounded-capacity transport.
+	MailboxCap int
 }
 
 // Comm is one rank's handle on a communicator: a fixed group of world
@@ -65,6 +70,21 @@ type Comm struct {
 	stats *trace.Stats
 	tr    *obs.Tracer  // nil = timeline disabled
 	cm    *commMetrics // nil = metrics disabled
+	// done is the shared Request returned by nonblocking sends that
+	// complete synchronously (fast path). It carries no per-operation
+	// state — Wait/waitSent on it return immediately — so reusing one
+	// instance keeps the steady-state Sendrecv paths allocation-free.
+	done *Request
+}
+
+// doneRequest returns the rank's shared already-completed send request,
+// allocating it on first use. Comm is single-goroutine by contract, so
+// the lazy initialization is race-free.
+func (c *Comm) doneRequest() *Request {
+	if c.done == nil {
+		c.done = &Request{comm: c}
+	}
+	return c.done
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -99,10 +119,18 @@ func (c *Comm) Metrics() *obs.Registry {
 // Options returns the options the communicator was created with.
 func (c *Comm) Options() Options { return c.opts }
 
+// diag identifies the caller for panic messages: world rank, active
+// trace phase, and transport — enough to localize a schedule bug in a
+// multi-process run from a single panic line.
+func (c *Comm) diag() string {
+	return fmt.Sprintf("world rank %d, phase %v, transport %s",
+		c.group[c.rank], c.stats.Phase(), c.rt.transportName())
+}
+
 // checkPeer panics if peer is not a valid rank of the communicator.
 func (c *Comm) checkPeer(peer int) {
 	if peer < 0 || peer >= len(c.group) {
-		panic(fmt.Sprintf("comm: peer %d outside communicator of size %d", peer, len(c.group)))
+		panic(fmt.Sprintf("comm: peer %d outside communicator of size %d (%s)", peer, len(c.group), c.diag()))
 	}
 }
 
@@ -134,18 +162,23 @@ func (c *Comm) Send(to, tag int, data []byte) {
 func (c *Comm) sendMsg(to, tag int, m message) {
 	c.checkPeer(to)
 	if to == c.rank {
-		panic("comm: self-send (use local copies instead)")
+		panic(fmt.Sprintf("comm: self-send (use local copies instead) (%s)", c.diag()))
 	}
 	src, dst := c.group[c.rank], c.group[to]
-	box := c.rt.boxes[dst][src]
-	c.cm.countSend(int(c.stats.Phase()), src, dst, m.wire, len(box))
 	m.comm = c.id
 	m.tag = tag
 	m.seq = c.rt.nextSeq(src, dst)
-	select {
-	case box <- m:
-	case <-c.rt.abort:
-		panic(errAborted{})
+	if c.rt.remote(dst) {
+		c.cm.countSend(int(c.stats.Phase()), src, dst, m.wire, c.rt.proc.queueDepthTo(dst))
+		c.rt.netSend(src, dst, m)
+	} else {
+		box := c.rt.boxes[dst][src]
+		c.cm.countSend(int(c.stats.Phase()), src, dst, m.wire, len(box))
+		select {
+		case box <- m:
+		case <-c.rt.abort:
+			panic(errAborted{})
+		}
 	}
 	c.stats.CountMessage(m.wire)
 	c.tr.Send(dst, tag, m.wire, m.seq)
@@ -157,7 +190,7 @@ func (c *Comm) sendMsg(to, tag int, m message) {
 // repository are deterministic, so a mismatch indicates a schedule bug
 // and panics rather than being silently reordered.
 func (c *Comm) Recv(from, tag int) []byte {
-	return c.recvMsg(from, tag).bytesPayload()
+	return c.recvMsg(from, tag).bytesPayload(c)
 }
 
 // recvMsg blocks for the next message from `from` under tag and returns
@@ -165,23 +198,30 @@ func (c *Comm) Recv(from, tag int) []byte {
 func (c *Comm) recvMsg(from, tag int) message {
 	c.checkPeer(from)
 	if from == c.rank {
-		panic("comm: self-receive")
+		panic(fmt.Sprintf("comm: self-receive (%s)", c.diag()))
 	}
 	box := c.rt.boxes[c.group[c.rank]][c.group[from]]
 	t0 := c.tr.Now()
 	select {
 	case m := <-box:
-		if m.comm != c.id || m.tag != tag {
-			panic(fmt.Sprintf("comm: rank %d expected (comm %x, tag %d) from %d, got (comm %x, tag %d)",
-				c.rank, c.id, tag, from, m.comm, m.tag))
-		}
-		c.stats.CountRecv(m.wire)
-		c.tr.Recv(t0, c.group[from], tag, m.wire, m.seq)
-		c.cm.countRecv(int(c.stats.Phase()), c.group[from], c.group[c.rank], m.wire)
+		c.finishRecv(m, from, tag, t0)
 		return m
 	case <-c.rt.abort:
 		panic(errAborted{})
 	}
+}
+
+// finishRecv validates and accounts one message taken from `from`'s
+// mailbox; t0 is the tracer timestamp taken when the receive was
+// posted.
+func (c *Comm) finishRecv(m message, from, tag int, t0 int64) {
+	if m.comm != c.id || m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected (comm %x, tag %d) from %d, got (comm %x, tag %d) (%s)",
+			c.rank, c.id, tag, from, m.comm, m.tag, c.diag()))
+	}
+	c.stats.CountRecv(m.wire)
+	c.tr.Recv(t0, c.group[from], tag, m.wire, m.seq)
+	c.cm.countRecv(int(c.stats.Phase()), c.group[from], c.group[c.rank], m.wire)
 }
 
 // Payload accessors: the algorithms in this repository are
@@ -189,30 +229,30 @@ func (c *Comm) recvMsg(from, tag int) message {
 // indicates a schedule bug mixing the typed and encoded transports and
 // panics rather than silently converting.
 
-func (m message) bytesPayload() []byte {
+func (m message) bytesPayload(c *Comm) []byte {
 	if m.kind != payloadBytes {
-		panic(fmt.Sprintf("comm: expected a byte payload, got %v (tag %d)", m.kind, m.tag))
+		panic(fmt.Sprintf("comm: expected a byte payload, got %v (tag %d, %s)", m.kind, m.tag, c.diag()))
 	}
 	return m.data
 }
 
-func (m message) particlesPayload() []phys.Particle {
+func (m message) particlesPayload(c *Comm) []phys.Particle {
 	if m.kind != payloadParticles {
-		panic(fmt.Sprintf("comm: expected a particle payload, got %v (tag %d)", m.kind, m.tag))
+		panic(fmt.Sprintf("comm: expected a particle payload, got %v (tag %d, %s)", m.kind, m.tag, c.diag()))
 	}
 	return m.ps
 }
 
-func (m message) teamParticlesPayload() (int, []phys.Particle) {
+func (m message) teamParticlesPayload(c *Comm) (int, []phys.Particle) {
 	if m.kind != payloadTeamParticles {
-		panic(fmt.Sprintf("comm: expected a framed particle payload, got %v (tag %d)", m.kind, m.tag))
+		panic(fmt.Sprintf("comm: expected a framed particle payload, got %v (tag %d, %s)", m.kind, m.tag, c.diag()))
 	}
 	return int(m.hdr), m.ps
 }
 
-func (m message) f64sPayload() []float64 {
+func (m message) f64sPayload(c *Comm) []float64 {
 	if m.kind != payloadF64s {
-		panic(fmt.Sprintf("comm: expected a float64 payload, got %v (tag %d)", m.kind, m.tag))
+		panic(fmt.Sprintf("comm: expected a float64 payload, got %v (tag %d, %s)", m.kind, m.tag, c.diag()))
 	}
 	return m.f64s
 }
@@ -226,8 +266,90 @@ func (c *Comm) Sendrecv(to int, data []byte, from, tag int) []byte {
 		// Degenerate single-rank ring: the shift is the identity.
 		return data
 	}
-	c.Send(to, tag, data)
-	return c.Recv(from, tag)
+	return c.sendrecvMsg(to, tag, bytesMsg(data), from).bytesPayload(c)
+}
+
+// tailPending reaps a completed overflow Isend to dst and reports
+// whether one is still in flight (in which case inline mailbox delivery
+// would reorder the src→dst stream).
+func (c *Comm) tailPending(src, dst int) bool {
+	prev := c.rt.sendTail[src][dst]
+	if prev == nil {
+		return false
+	}
+	select {
+	case <-prev.sent:
+		c.rt.sendTail[src][dst] = nil
+		return false
+	default:
+		return true
+	}
+}
+
+// sendrecvMsg is the shared exchange under Sendrecv and its typed
+// variants. The send and the receive are offered simultaneously in one
+// select, so a ring of ranks exchanging at once cannot deadlock on any
+// mailbox capacity — including zero. (The historical blocking
+// send-then-recv only avoided deadlock because the default mailboxes
+// buffer eight messages; a shrunken mailbox or a saturated transport
+// breaks that assumption, which TestSendrecvRingUnbuffered pins.) The
+// select carries no goroutine or Request, keeping the steady-state
+// shift loops allocation-free.
+//
+// Progress argument for the recv-first arm: once this rank's receive
+// completes, its upstream neighbor's send has completed, so by
+// induction around any exchange cycle every blocked send eventually
+// finds its receiver — each rank keeps its receive offered until it
+// completes.
+func (c *Comm) sendrecvMsg(to, tag int, m message, from int) message {
+	c.checkPeer(to)
+	c.checkPeer(from)
+	if to == c.rank {
+		panic(fmt.Sprintf("comm: self-send (use local copies instead) (%s)", c.diag()))
+	}
+	if from == c.rank {
+		panic(fmt.Sprintf("comm: self-receive (%s)", c.diag()))
+	}
+	src, dst := c.group[c.rank], c.group[to]
+	if c.rt.remote(dst) || c.tailPending(src, dst) {
+		// A remote send cannot join a mailbox cycle — the link's writer
+		// goroutine drains the queue and the remote reader never blocks
+		// on delivery — and a pending overflow Isend forbids inline
+		// delivery; both delegate to the nonblocking path.
+		send := c.isendMsg(to, tag, m)
+		out := c.recvMsg(from, tag)
+		send.waitSent()
+		return out
+	}
+	box := c.rt.boxes[dst][src]
+	c.cm.countSend(int(c.stats.Phase()), src, dst, m.wire, len(box))
+	m.comm = c.id
+	m.tag = tag
+	m.seq = c.rt.nextSeq(src, dst)
+	c.stats.CountMessage(m.wire)
+	c.tr.Send(dst, tag, m.wire, m.seq)
+	rbox := c.rt.boxes[src][c.group[from]]
+	t0 := c.tr.Now()
+	select {
+	case box <- m:
+		select {
+		case got := <-rbox:
+			c.finishRecv(got, from, tag, t0)
+			return got
+		case <-c.rt.abort:
+			panic(errAborted{})
+		}
+	case got := <-rbox:
+		c.finishRecv(got, from, tag, t0)
+		select {
+		case box <- m:
+		case <-c.rt.abort:
+			panic(errAborted{})
+		}
+		return got
+	case <-c.rt.abort:
+		panic(errAborted{})
+	}
 }
 
 // Barrier blocks until every rank of the communicator has entered it.

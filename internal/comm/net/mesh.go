@@ -1,0 +1,636 @@
+package net
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes one process's view of the mesh to form.
+type Config struct {
+	// Rendezvous is the address all processes agree on: "host:port" for
+	// TCP, or a filesystem path (or "unix:path") for unix-domain
+	// sockets. The process that manages to bind it becomes proc 0 and
+	// assigns ids to the others in arrival order — valid because the
+	// procs of an SPMD run are symmetric until numbered.
+	Rendezvous string
+	// Procs is the number of OS processes in the mesh (>= 1).
+	Procs int
+	// Timeout bounds mesh formation (default 60s).
+	Timeout time.Duration
+}
+
+const protocolVersion = 1
+
+// hello is the payload of a KindHello rendezvous frame; welcome the
+// KindWelcome reply.
+type hello struct {
+	V    int    `json:"v"`
+	Addr string `json:"addr"` // the sender's data-listener address
+}
+
+type welcome struct {
+	V     int      `json:"v"`
+	ID    int      `json:"id"`
+	Addrs []string `json:"addrs"` // data-listener address of every proc, by id
+}
+
+// Mesh is one process's membership in a fully connected process group.
+// Data frames are delivered to the attached sink in per-connection
+// receive order; control frames (Finish/Result) queue for RecvCtrl.
+// A Mesh survives multiple runs — the end-of-run result exchange is a
+// natural inter-run barrier — but an abort severs it permanently.
+type Mesh struct {
+	network string // "tcp" or "unix"
+	id      int
+	procs   int
+	peers   []*peer // by proc id; peers[id] is nil
+
+	// routeMu serializes data-frame delivery across the per-connection
+	// readers and orders sink attachment against frames that arrive
+	// before a run begins (they buffer in pending, then drain under the
+	// same lock, so per-pair FIFO order survives the hand-off).
+	routeMu sync.Mutex
+	sink    func(Frame)
+	pending []Frame
+
+	ctrl chan Frame
+
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	errMu     sync.Mutex
+	err       error
+	onAbort   func(error)
+
+	wg sync.WaitGroup
+}
+
+type peer struct {
+	id   int
+	conn net.Conn
+	// br is the link's read buffer, created before the first read so
+	// the introduction frame and the data stream share one reader — a
+	// second buffered reader would silently swallow whatever the first
+	// one slurped past the frame it was asked for.
+	br  *bufio.Reader
+	out chan Frame
+}
+
+// outQueueCap is each peer link's writer queue depth. Sends beyond it
+// block (Send) or overflow to the caller's chaining logic (TrySend
+// returning false), mirroring the bounded in-process mailboxes.
+const outQueueCap = 1024
+
+// resolveNetwork splits a rendezvous address into (network, address):
+// "unix:path" or any address containing a path separator selects
+// unix-domain sockets, everything else TCP.
+func resolveNetwork(addr string) (string, string) {
+	if p, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", p
+	}
+	if strings.ContainsRune(addr, '/') {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Join forms the mesh: it races to bind the rendezvous address — the
+// winner coordinates as proc 0, everyone else enrolls by dialing — and
+// returns once every pairwise connection is up.
+func Join(cfg Config) (*Mesh, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("net: non-positive proc count %d", cfg.Procs)
+	}
+	network, addr := resolveNetwork(cfg.Rendezvous)
+	deadline := time.Now().Add(timeoutOf(cfg))
+	if ln, err := net.Listen(network, addr); err == nil {
+		r := &Rendezvous{cfg: cfg, network: network, addr: addr, ln: ln, deadline: deadline}
+		return r.Accept()
+	}
+	return enroll(cfg, network, addr, deadline)
+}
+
+func timeoutOf(cfg Config) time.Duration {
+	if cfg.Timeout > 0 {
+		return cfg.Timeout
+	}
+	return 60 * time.Second
+}
+
+// Rendezvous is a bound rendezvous point whose address can be handed to
+// follower processes before mesh formation completes — the launcher
+// binds port 0, reads Addr, spawns followers, then Accepts.
+type Rendezvous struct {
+	cfg      Config
+	network  string
+	addr     string
+	ln       net.Listener
+	deadline time.Time
+}
+
+// Listen binds the rendezvous address and returns without waiting for
+// peers. The caller becomes proc 0 when Accept completes the mesh.
+func Listen(cfg Config) (*Rendezvous, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("net: non-positive proc count %d", cfg.Procs)
+	}
+	network, addr := resolveNetwork(cfg.Rendezvous)
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("net: bind rendezvous %s: %w", cfg.Rendezvous, err)
+	}
+	return &Rendezvous{cfg: cfg, network: network, addr: addr, ln: ln, deadline: time.Now().Add(timeoutOf(cfg))}, nil
+}
+
+// Addr returns the bound rendezvous address in the form Join accepts
+// (a "unix:" prefix for unix sockets, host:port for TCP).
+func (r *Rendezvous) Addr() string {
+	a := r.ln.Addr().String()
+	if r.network == "unix" {
+		return "unix:" + a
+	}
+	return a
+}
+
+// Close abandons an un-Accepted rendezvous.
+func (r *Rendezvous) Close() error { return r.ln.Close() }
+
+// Accept runs the coordinator side of mesh formation: collect a hello
+// from every other proc, assign ids in arrival order, reply with the
+// full address list, then form the data mesh.
+func (r *Rendezvous) Accept() (*Mesh, error) {
+	defer func() {
+		r.ln.Close()
+		if r.network == "unix" {
+			os.Remove(r.addr)
+		}
+	}()
+	dataLn, dataAddr, cleanup, err := dataListener(r.network, r.addr)
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]string, r.cfg.Procs)
+	addrs[0] = dataAddr
+	conns := make([]net.Conn, 0, r.cfg.Procs-1)
+	abandon := func(err error) (*Mesh, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		dataLn.Close()
+		cleanup()
+		return nil, err
+	}
+	if dl, ok := r.ln.(interface{ SetDeadline(time.Time) error }); ok {
+		dl.SetDeadline(r.deadline)
+	}
+	for i := 1; i < r.cfg.Procs; i++ {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return abandon(fmt.Errorf("net: rendezvous accept (%d/%d procs joined): %w", i-1, r.cfg.Procs-1, err))
+		}
+		conn.SetDeadline(r.deadline)
+		f, err := ReadFrame(bufio.NewReader(conn))
+		if err != nil || f.Kind != KindHello {
+			conn.Close()
+			return abandon(fmt.Errorf("net: bad rendezvous hello: %v", err))
+		}
+		var h hello
+		if err := json.Unmarshal(f.Payload, &h); err != nil || h.V != protocolVersion {
+			conn.Close()
+			return abandon(fmt.Errorf("net: incompatible peer at rendezvous (version %d, want %d)", h.V, protocolVersion))
+		}
+		addrs[i] = h.Addr
+		conns = append(conns, conn)
+	}
+	for i, conn := range conns {
+		payload, _ := json.Marshal(welcome{V: protocolVersion, ID: i + 1, Addrs: addrs})
+		if err := writeFrame(conn, &Frame{Kind: KindWelcome, Payload: payload}); err != nil {
+			return abandon(fmt.Errorf("net: rendezvous welcome to proc %d: %w", i+1, err))
+		}
+		conn.Close()
+	}
+	return formMesh(r.network, 0, r.cfg.Procs, addrs, dataLn, cleanup, r.deadline)
+}
+
+// enroll is the non-coordinator side: dial the rendezvous (retrying
+// while the coordinator binds), introduce our data listener, and learn
+// our id plus everyone's addresses.
+func enroll(cfg Config, network, addr string, deadline time.Time) (*Mesh, error) {
+	dataLn, dataAddr, cleanup, err := dataListener(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Mesh, error) {
+		dataLn.Close()
+		cleanup()
+		return nil, err
+	}
+	var conn net.Conn
+	for {
+		conn, err = net.DialTimeout(network, addr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("net: rendezvous %s never came up: %w", cfg.Rendezvous, err))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	conn.SetDeadline(deadline)
+	payload, _ := json.Marshal(hello{V: protocolVersion, Addr: dataAddr})
+	if err := writeFrame(conn, &Frame{Kind: KindHello, Payload: payload}); err != nil {
+		conn.Close()
+		return fail(fmt.Errorf("net: rendezvous hello: %w", err))
+	}
+	f, err := ReadFrame(bufio.NewReader(conn))
+	conn.Close()
+	if err != nil || f.Kind != KindWelcome {
+		return fail(fmt.Errorf("net: rendezvous welcome: %v", err))
+	}
+	var w welcome
+	if err := json.Unmarshal(f.Payload, &w); err != nil || w.V != protocolVersion || len(w.Addrs) != cfg.Procs {
+		return fail(fmt.Errorf("net: malformed rendezvous welcome"))
+	}
+	return formMesh(network, w.ID, cfg.Procs, w.Addrs, dataLn, cleanup, deadline)
+}
+
+// dataSeq disambiguates unix data-socket paths when several meshes (or
+// several members of one mesh, as in tests) live in a single process.
+var dataSeq atomic.Uint64
+
+// dataListener opens this proc's data listener: an ephemeral TCP port
+// on the rendezvous host, or a unique socket path next to a unix
+// rendezvous.
+func dataListener(network, rendezvous string) (net.Listener, string, func(), error) {
+	if network == "unix" {
+		path := fmt.Sprintf("%s.d%d.%d", rendezvous, os.Getpid(), dataSeq.Add(1))
+		ln, err := net.Listen("unix", path)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("net: data listener: %w", err)
+		}
+		return ln, path, func() { os.Remove(path) }, nil
+	}
+	host, _, err := net.SplitHostPort(rendezvous)
+	if err != nil || host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("net: data listener: %w", err)
+	}
+	return ln, ln.Addr().String(), func() {}, nil
+}
+
+// formMesh completes the pairwise connections: proc i dials every j<i
+// (identifying itself with a hello frame) and then accepts from every
+// k>i. Dials target only lower ids and each proc accepts only after
+// its dials, so by induction no cycle of procs waits on each other.
+func formMesh(network string, id, procs int, addrs []string, dataLn net.Listener, cleanup func(), deadline time.Time) (*Mesh, error) {
+	m := &Mesh{
+		network: network,
+		id:      id,
+		procs:   procs,
+		peers:   make([]*peer, procs),
+		ctrl:    make(chan Frame, 4*procs),
+		abortCh: make(chan struct{}),
+		closeCh: make(chan struct{}),
+	}
+	fail := func(err error) (*Mesh, error) {
+		for _, p := range m.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		dataLn.Close()
+		cleanup()
+		return nil, err
+	}
+	for j := 0; j < id; j++ {
+		conn, err := net.DialTimeout(network, addrs[j], time.Until(deadline))
+		if err != nil {
+			return fail(fmt.Errorf("net: proc %d dial proc %d: %w", id, j, err))
+		}
+		conn.SetDeadline(deadline)
+		if err := writeFrame(conn, &Frame{Kind: KindHello, Src: uint32(id)}); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("net: proc %d identify to proc %d: %w", id, j, err))
+		}
+		m.peers[j] = &peer{id: j, conn: conn, br: bufio.NewReaderSize(conn, 64<<10), out: make(chan Frame, outQueueCap)}
+	}
+	if dl, ok := dataLn.(interface{ SetDeadline(time.Time) error }); ok {
+		dl.SetDeadline(deadline)
+	}
+	for k := id + 1; k < procs; k++ {
+		conn, err := dataLn.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("net: proc %d accept higher peers: %w", id, err))
+		}
+		conn.SetDeadline(deadline)
+		// The introduction is read through the reader the link will keep:
+		// data frames can already be queued behind it (the dialing proc's
+		// ranks start as soon as its mesh forms), and a throwaway buffered
+		// reader would slurp and then discard them.
+		br := bufio.NewReaderSize(conn, 64<<10)
+		f, err := ReadFrame(br)
+		if err != nil || f.Kind != KindHello || int(f.Src) <= id || int(f.Src) >= procs {
+			conn.Close()
+			return fail(fmt.Errorf("net: proc %d: bad peer introduction: %v", id, err))
+		}
+		if m.peers[f.Src] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("net: proc %d introduced twice", f.Src))
+		}
+		m.peers[f.Src] = &peer{id: int(f.Src), conn: conn, br: br, out: make(chan Frame, outQueueCap)}
+	}
+	dataLn.Close()
+	cleanup()
+	for _, p := range m.peers {
+		if p == nil {
+			continue
+		}
+		p.conn.SetDeadline(time.Time{})
+		m.wg.Add(2)
+		go m.writeLoop(p)
+		go m.readLoop(p)
+	}
+	return m, nil
+}
+
+// writeFrame encodes and writes one frame directly (mesh-formation
+// path, before the writer goroutines exist).
+func writeFrame(conn net.Conn, f *Frame) error {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write(buf)
+	return err
+}
+
+// ID returns this process's proc id (0 = coordinator).
+func (m *Mesh) ID() int { return m.id }
+
+// Procs returns the number of processes in the mesh.
+func (m *Mesh) Procs() int { return m.procs }
+
+// Network returns the transport in use: "tcp" or "unix".
+func (m *Mesh) Network() string { return m.network }
+
+// Attach installs the data-frame sink and drains any frames that
+// arrived before it, in order. The sink must not block: delivery runs
+// on the per-connection reader goroutines under the routing lock, so
+// receivers that might stall must defer to their own goroutines (the
+// comm runtime's overflow chains do exactly that).
+func (m *Mesh) Attach(sink func(Frame)) {
+	m.routeMu.Lock()
+	defer m.routeMu.Unlock()
+	for _, f := range m.pending {
+		sink(f)
+	}
+	m.pending = nil
+	m.sink = sink
+}
+
+// Detach removes the sink; subsequent data frames buffer for the next
+// Attach.
+func (m *Mesh) Detach() {
+	m.routeMu.Lock()
+	m.sink = nil
+	m.routeMu.Unlock()
+}
+
+// OnAbort registers a callback invoked (once) when the mesh aborts.
+func (m *Mesh) OnAbort(fn func(error)) {
+	m.errMu.Lock()
+	m.onAbort = fn
+	m.errMu.Unlock()
+}
+
+func (m *Mesh) route(f Frame) {
+	m.routeMu.Lock()
+	if m.sink != nil {
+		sink := m.sink
+		sink(f)
+		m.routeMu.Unlock()
+		return
+	}
+	m.pending = append(m.pending, f)
+	m.routeMu.Unlock()
+}
+
+// Send queues a frame to a peer, blocking while the link's queue is
+// full. cancel (may be nil) aborts the wait. Returns an error when the
+// mesh has aborted or the wait was canceled.
+func (m *Mesh) Send(to int, f Frame, cancel <-chan struct{}) error {
+	p := m.peers[to]
+	if p == nil {
+		return fmt.Errorf("net: proc %d sending to itself", to)
+	}
+	select {
+	case p.out <- f:
+		return nil
+	default:
+	}
+	select {
+	case p.out <- f:
+		return nil
+	case <-m.abortCh:
+		return m.Err()
+	case <-cancel:
+		return errors.New("net: send canceled")
+	}
+}
+
+// TrySend queues a frame without blocking; false means the link queue
+// is full (or the mesh is gone) and the caller must fall back to Send.
+func (m *Mesh) TrySend(to int, f Frame) bool {
+	p := m.peers[to]
+	if p == nil {
+		return false
+	}
+	select {
+	case p.out <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth returns the current depth of the link queue toward a peer
+// — the socket path's analogue of mailbox occupancy.
+func (m *Mesh) QueueDepth(to int) int {
+	if p := m.peers[to]; p != nil {
+		return len(p.out)
+	}
+	return 0
+}
+
+// RecvCtrl blocks for the next control frame (Finish or Result).
+func (m *Mesh) RecvCtrl() (Frame, error) {
+	select {
+	case f := <-m.ctrl:
+		return f, nil
+	case <-m.abortCh:
+		return Frame{}, m.Err()
+	}
+}
+
+// Err returns the abort error, or nil while the mesh is healthy.
+func (m *Mesh) Err() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.err
+}
+
+// Abort severs the mesh: a best-effort abort frame goes out on every
+// link and all connections close, so remote procs blocked on receives
+// fail fast instead of hanging on a crashed peer. Idempotent; the
+// first error wins.
+func (m *Mesh) Abort(err error) {
+	m.abortOnce.Do(func() {
+		m.errMu.Lock()
+		if m.err == nil {
+			if err == nil {
+				err = errors.New("net: mesh aborted")
+			}
+			m.err = err
+		}
+		cb := m.onAbort
+		first := m.err
+		m.errMu.Unlock()
+		close(m.abortCh)
+		if cb != nil {
+			cb(first)
+		}
+	})
+}
+
+// Close shuts the mesh down in an orderly way: writers flush their
+// queues and close the connections. Safe to call multiple times.
+func (m *Mesh) Close() error {
+	m.closeOnce.Do(func() { close(m.closeCh) })
+	m.wg.Wait()
+	return nil
+}
+
+// writeLoop owns all writes on one link: it encodes queued frames
+// through a buffered writer, flushing when the queue drains. On abort
+// it emits a final abort frame (with a short deadline — the peer may
+// already be gone) and severs the connection.
+func (m *Mesh) writeLoop(p *peer) {
+	defer m.wg.Done()
+	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	var enc []byte
+	write := func(f Frame) error {
+		var err error
+		enc, err = AppendFrame(enc[:0], &f)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(enc)
+		return err
+	}
+	for {
+		select {
+		case f := <-p.out:
+			err := write(f)
+			if err == nil && len(p.out) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				m.Abort(fmt.Errorf("net: write to proc %d: %w", p.id, err))
+				p.conn.Close()
+				return
+			}
+		case <-m.abortCh:
+			af := Frame{Kind: KindAbort}
+			if e := m.Err(); e != nil {
+				af.Payload = []byte(e.Error())
+			}
+			p.conn.SetWriteDeadline(time.Now().Add(time.Second))
+			if write(af) == nil {
+				bw.Flush()
+			}
+			p.conn.Close()
+			return
+		case <-m.closeCh:
+			for {
+				select {
+				case f := <-p.out:
+					if err := write(f); err != nil {
+						p.conn.Close()
+						return
+					}
+				default:
+					// A goodbye frame marks this as an orderly departure:
+					// without it the peer's reader cannot tell our exit
+					// from a crash and would abort its mesh. Short
+					// deadline — the peer may already be gone.
+					p.conn.SetWriteDeadline(time.Now().Add(time.Second))
+					if write(Frame{Kind: KindBye}) == nil {
+						bw.Flush()
+					}
+					p.conn.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop owns all reads on one link, routing data frames to the sink
+// and control frames to the ctrl queue. Any read failure outside an
+// orderly shutdown aborts the mesh — a crashed peer must fail this
+// proc, not hang it.
+func (m *Mesh) readLoop(p *peer) {
+	defer m.wg.Done()
+	br := p.br
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			select {
+			case <-m.closeCh:
+			case <-m.abortCh:
+			default:
+				m.Abort(fmt.Errorf("net: read from proc %d: %w", p.id, err))
+			}
+			return
+		}
+		switch {
+		case IsData(f.Kind):
+			m.route(f)
+		case f.Kind == KindFinish || f.Kind == KindResult:
+			select {
+			case m.ctrl <- f:
+			case <-m.abortCh:
+				return
+			case <-m.closeCh:
+				return
+			}
+		case f.Kind == KindAbort:
+			msg := "peer aborted"
+			if len(f.Payload) > 0 {
+				msg = string(f.Payload)
+			}
+			m.Abort(fmt.Errorf("net: proc %d aborted: %s", p.id, msg))
+			return
+		case f.Kind == KindBye:
+			// Orderly departure: the peer closed its mesh after finishing
+			// its runs. Stop reading this link so the connection teardown
+			// that follows is never mistaken for a crash.
+			return
+		default:
+			m.Abort(fmt.Errorf("net: unexpected frame kind %#x from proc %d", f.Kind, p.id))
+			return
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package net
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// joinAll forms an n-proc mesh within this test process, one goroutine
+// per member, and returns the meshes indexed by proc id.
+func joinAll(t *testing.T, rendezvous string, n int) []*Mesh {
+	t.Helper()
+	meshes := make([]*Mesh, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := Join(Config{Rendezvous: rendezvous, Procs: n, Timeout: 30 * time.Second})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			meshes[m.ID()] = m
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	return meshes
+}
+
+func unixRendezvous(t *testing.T) string {
+	return "unix:" + filepath.Join(t.TempDir(), "r.sock")
+}
+
+func TestMeshFormsAndRoutesData(t *testing.T) {
+	const n = 3
+	meshes := joinAll(t, unixRendezvous(t), n)
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+
+	// Every proc sends one tagged frame to every other proc; sinks
+	// collect them.
+	type got struct {
+		from int
+		seq  uint64
+	}
+	sinks := make([]chan got, n)
+	for i, m := range meshes {
+		ch := make(chan got, 16)
+		sinks[i] = ch
+		m.Attach(func(f Frame) { ch <- got{from: int(f.Src), seq: f.Seq} })
+	}
+	for i, m := range meshes {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if err := m.Send(j, Frame{Kind: KindBytes, Src: uint32(i), Dst: uint32(j), Seq: 1}, nil); err != nil {
+				t.Fatalf("send %d→%d: %v", i, j, err)
+			}
+		}
+	}
+	for i := range meshes {
+		seen := map[int]bool{}
+		for k := 0; k < n-1; k++ {
+			select {
+			case g := <-sinks[i]:
+				seen[g.from] = true
+			case <-time.After(10 * time.Second):
+				t.Fatalf("proc %d: timed out waiting for frame %d", i, k)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if j != i && !seen[j] {
+				t.Errorf("proc %d never heard from proc %d", i, j)
+			}
+		}
+	}
+}
+
+// TestMeshDeliversFramesSentBeforeAttach pins two delivery guarantees
+// at once: frames sent immediately after mesh formation must not be
+// lost even though the introduction frame shares the connection with
+// them (a second buffered reader would swallow whatever the first read
+// ahead), and frames arriving before the receiver attaches its sink
+// must buffer and drain in order.
+func TestMeshDeliversFramesSentBeforeAttach(t *testing.T) {
+	const burst = 200
+	meshes := joinAll(t, unixRendezvous(t), 2)
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+
+	// Proc 1 fires a burst at proc 0 the instant the mesh exists; proc 0
+	// attaches only afterwards.
+	for s := 1; s <= burst; s++ {
+		if err := meshes[1].Send(0, Frame{Kind: KindBytes, Src: 2, Dst: 0, Seq: uint64(s)}, nil); err != nil {
+			t.Fatalf("send %d: %v", s, err)
+		}
+	}
+	recv := make(chan uint64, burst)
+	time.Sleep(50 * time.Millisecond) // let frames land in the pending buffer
+	meshes[0].Attach(func(f Frame) { recv <- f.Seq })
+	for want := uint64(1); want <= burst; want++ {
+		select {
+		case seq := <-recv:
+			if seq != want {
+				t.Fatalf("frame %d arrived out of order (got seq %d)", want, seq)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out at seq %d", want)
+		}
+	}
+}
+
+func TestMeshCtrlPlane(t *testing.T) {
+	meshes := joinAll(t, unixRendezvous(t), 2)
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	if err := meshes[1].Send(0, Frame{Kind: KindFinish, Src: 1, Payload: []byte("summary")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := meshes[0].RecvCtrl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindFinish || string(f.Payload) != "summary" {
+		t.Fatalf("got %+v", f)
+	}
+	if err := meshes[0].Send(1, Frame{Kind: KindResult, Payload: []byte("merged")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err = meshes[1].RecvCtrl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindResult || string(f.Payload) != "merged" {
+		t.Fatalf("got %+v", f)
+	}
+}
+
+// TestMeshAbortPropagates kills one member and requires every peer to
+// fail fast — blocked receives must return the propagated error, not
+// hang on a dead process.
+func TestMeshAbortPropagates(t *testing.T) {
+	const n = 3
+	meshes := joinAll(t, unixRendezvous(t), n)
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	boom := fmt.Errorf("rank 7 exploded")
+	meshes[2].Abort(boom)
+	for i := 0; i < 2; i++ {
+		if _, err := meshes[i].RecvCtrl(); err == nil {
+			t.Fatalf("proc %d: RecvCtrl returned without error after peer abort", i)
+		} else if !strings.Contains(err.Error(), "exploded") {
+			t.Fatalf("proc %d: abort reason lost: %v", i, err)
+		}
+		if meshes[i].Err() == nil {
+			t.Fatalf("proc %d: Err() nil after abort", i)
+		}
+	}
+	// The aborting mesh reports its own error verbatim.
+	if err := meshes[2].Err(); err != boom {
+		t.Fatalf("origin Err() = %v", err)
+	}
+}
+
+// TestMeshOrderlyCloseIsNotACrash pins the shutdown contract: a mesh
+// member that finishes and closes cleanly must not trip the abort path
+// on its peers. The departing writer sends a goodbye frame before
+// closing the connection, and frames queued ahead of the goodbye still
+// arrive (the leader's result frame rides exactly this ordering).
+func TestMeshOrderlyCloseIsNotACrash(t *testing.T) {
+	meshes := joinAll(t, unixRendezvous(t), 3)
+	defer func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	}()
+	recv := make(chan Frame, 1)
+	meshes[0].Attach(func(f Frame) { recv <- f })
+
+	// Proc 2 sends one last frame and departs; the frame must still be
+	// delivered, and neither survivor may observe an abort.
+	if err := meshes[2].Send(0, Frame{Kind: KindBytes, Src: 99, Dst: 0, Seq: 5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	meshes[2].Close()
+	select {
+	case f := <-recv:
+		if f.Seq != 5 {
+			t.Fatalf("last frame seq %d, want 5", f.Seq)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("frame queued before Close never arrived")
+	}
+	// Give the teardown a moment to propagate, then check the survivors.
+	time.Sleep(100 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if err := meshes[i].Err(); err != nil {
+			t.Fatalf("proc %d aborted on a peer's orderly close: %v", i, err)
+		}
+	}
+	// The survivors can still talk to each other.
+	if err := meshes[1].Send(0, Frame{Kind: KindBytes, Src: 1, Dst: 0, Seq: 6}, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-recv:
+		if f.Seq != 6 {
+			t.Fatalf("post-departure frame seq %d, want 6", f.Seq)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("surviving pair stopped delivering after a peer departed")
+	}
+}
+
+// TestMeshTCP exercises the TCP resolver path end to end (the other
+// tests use unix sockets).
+func TestMeshTCP(t *testing.T) {
+	r, err := Listen(Config{Rendezvous: "127.0.0.1:0", Procs: 2, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var follower *Mesh
+	var joinErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		follower, joinErr = Join(Config{Rendezvous: r.Addr(), Procs: 2, Timeout: 30 * time.Second})
+	}()
+	leader, err := r.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if joinErr != nil {
+		t.Fatal(joinErr)
+	}
+	defer leader.Close()
+	defer follower.Close()
+	if leader.Network() != "tcp" || follower.Network() != "tcp" {
+		t.Fatalf("networks %q/%q, want tcp", leader.Network(), follower.Network())
+	}
+	recv := make(chan Frame, 1)
+	follower.Attach(func(f Frame) { recv <- f })
+	if err := leader.Send(1, Frame{Kind: KindBytes, Seq: 42}, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-recv:
+		if f.Seq != 42 {
+			t.Fatalf("seq %d", f.Seq)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("frame never arrived over TCP")
+	}
+}

@@ -1,6 +1,10 @@
 package comm
 
-import "repro/internal/phys"
+import (
+	"fmt"
+
+	"repro/internal/phys"
+)
 
 // Nonblocking point-to-point operations, the substrate for overlapping
 // communication with computation in the shift loop (the optimization
@@ -47,15 +51,19 @@ func (c *Comm) IsendTeamParticles(to, tag, team int, ps []phys.Particle) *Reques
 func (c *Comm) isendMsg(to, tag int, m message) *Request {
 	c.checkPeer(to)
 	if to == c.rank {
-		panic("comm: self-send (use local copies instead)")
+		panic(fmt.Sprintf("comm: self-send (use local copies instead) (%s)", c.diag()))
 	}
 	src, dst := c.group[c.rank], c.group[to]
-	box := c.rt.boxes[dst][src]
 	m.comm = c.id
 	m.tag = tag
 	m.seq = c.rt.nextSeq(src, dst)
 	c.stats.CountMessage(m.wire)
 	c.tr.Send(dst, tag, m.wire, m.seq)
+	if c.rt.remote(dst) {
+		c.cm.countSend(int(c.stats.Phase()), src, dst, m.wire, c.rt.proc.queueDepthTo(dst))
+		return c.isendRemote(src, dst, m)
+	}
+	box := c.rt.boxes[dst][src]
 	c.cm.countSend(int(c.stats.Phase()), src, dst, m.wire, len(box))
 
 	// An earlier overflow send to the same destination that is still in
@@ -73,7 +81,7 @@ func (c *Comm) isendMsg(to, tag int, m message) *Request {
 	if prev == nil {
 		select {
 		case box <- m:
-			return &Request{comm: c}
+			return c.doneRequest()
 		default:
 		}
 	}
@@ -104,7 +112,7 @@ func (c *Comm) isendMsg(to, tag int, m message) *Request {
 func (c *Comm) Irecv(from, tag int) *Request {
 	c.checkPeer(from)
 	if from == c.rank {
-		panic("comm: self-receive")
+		panic(fmt.Sprintf("comm: self-receive (%s)", c.diag()))
 	}
 	return &Request{comm: c, from: from, tag: tag, isRecv: true}
 }
@@ -114,7 +122,7 @@ func (c *Comm) Irecv(from, tag int) *Request {
 // destination mailbox and returns nil.
 func (r *Request) Wait() []byte {
 	if r.isRecv {
-		return r.comm.recvMsg(r.from, r.tag).bytesPayload()
+		return r.comm.recvMsg(r.from, r.tag).bytesPayload(r.comm)
 	}
 	r.waitSent()
 	return nil
@@ -126,7 +134,7 @@ func (r *Request) WaitParticles() []phys.Particle {
 	if !r.isRecv {
 		panic("comm: WaitParticles on a send request")
 	}
-	return r.comm.recvMsg(r.from, r.tag).particlesPayload()
+	return r.comm.recvMsg(r.from, r.tag).particlesPayload(r.comm)
 }
 
 // WaitTeamParticles completes a framed typed particle receive, returning
@@ -135,7 +143,7 @@ func (r *Request) WaitTeamParticles() (int, []phys.Particle) {
 	if !r.isRecv {
 		panic("comm: WaitTeamParticles on a send request")
 	}
-	return r.comm.recvMsg(r.from, r.tag).teamParticlesPayload()
+	return r.comm.recvMsg(r.from, r.tag).teamParticlesPayload(r.comm)
 }
 
 func (r *Request) waitSent() {

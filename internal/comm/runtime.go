@@ -15,6 +15,7 @@ package comm
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/obs"
@@ -97,9 +98,12 @@ func f64sMsg(vals []float64) message {
 // in internal/core).
 const frameBytes = 4
 
-// mailboxCap is the per-(src,dst) channel buffer. The algorithms in this
-// repository keep at most a few outstanding messages per pair; the abort
-// select below prevents a hard deadlock if that assumption is violated.
+// mailboxCap is the default per-(src,dst) channel buffer. The algorithms
+// in this repository keep at most a few outstanding messages per pair;
+// the abort select below prevents a hard deadlock if that assumption is
+// violated. Options.MailboxCap overrides it — tests use tiny (even zero)
+// capacities to prove point-to-point patterns correct on any
+// bounded-capacity transport.
 const mailboxCap = 8
 
 // Runtime owns the mailboxes and failure plumbing for one SPMD execution.
@@ -120,12 +124,31 @@ type Runtime struct {
 	// message.seq. Like sendTail, each row is written only by src's
 	// goroutine, so plain (non-atomic) increments are race-free.
 	seqs [][]uint64
+
+	// Multi-process state (nil/zero under plain Run). lo/hi bound the
+	// world ranks hosted by this process; inTail chains deferred inbound
+	// deliveries per (src,dst) like sendTail chains outbound ones; shadow
+	// counts traffic when the local process is unobserved so the merged
+	// matrix stays globally true; deposits collects the final state
+	// published via Comm.Deposit.
+	proc     *Proc
+	lo, hi   int
+	inTail   [][]chan struct{}
+	shadow   *obs.CommMatrix
+	deposits map[int][]phys.Particle
 }
 
 // NewRuntime prepares mailboxes for size ranks.
-func NewRuntime(size int) *Runtime {
+func NewRuntime(size int) *Runtime { return newRuntime(size, 0) }
+
+func newRuntime(size, boxCap int) *Runtime {
 	if size <= 0 {
 		panic(fmt.Sprintf("comm: non-positive world size %d", size))
+	}
+	if boxCap == 0 {
+		boxCap = mailboxCap
+	} else if boxCap < 0 {
+		boxCap = 0 // explicit request for unbuffered mailboxes
 	}
 	rt := &Runtime{
 		size:  size,
@@ -133,10 +156,11 @@ func NewRuntime(size int) *Runtime {
 		abort: make(chan struct{}),
 		stats: make([]*trace.Stats, size),
 	}
+	rt.lo, rt.hi = 0, size
 	for d := range rt.boxes {
 		rt.boxes[d] = make([]chan message, size)
 		for s := range rt.boxes[d] {
-			rt.boxes[d][s] = make(chan message, mailboxCap)
+			rt.boxes[d][s] = make(chan message, boxCap)
 		}
 		rt.stats[d] = trace.NewStats()
 	}
@@ -162,8 +186,19 @@ func (rt *Runtime) Stats() []*trace.Stats { return rt.stats }
 // Report aggregates the per-rank stats into a critical-path report.
 func (rt *Runtime) Report() *trace.Report { return trace.Aggregate(rt.stats) }
 
-// fail records the first error and releases every blocked rank.
+// fail records the first error, releases every blocked local rank, and
+// severs the mesh so remote peers fail fast instead of hanging.
 func (rt *Runtime) fail(err error) {
+	rt.failLocal(err)
+	if rt.proc != nil {
+		rt.proc.mesh.Abort(err)
+	}
+}
+
+// failLocal is fail without the mesh propagation — the form the mesh's
+// own abort callback uses, so failure notifications arriving from a
+// remote process do not recurse back into the mesh.
+func (rt *Runtime) failLocal(err error) {
 	rt.mu.Lock()
 	if rt.err == nil {
 		rt.err = err
@@ -186,15 +221,38 @@ type errAborted struct{}
 // per-message events on the timeline, message-size and mailbox-depth
 // distributions in the registry.
 func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
-	rt := NewRuntime(size)
+	rep, _, err := RunProc(size, opts, nil, fn)
+	return rep, err
+}
+
+// RunProc is Run spanning OS processes: with a non-nil proc, this
+// process executes only its share of the world's ranks, remote traffic
+// travels the socket mesh, and at the end of the run every process
+// receives the same merged report and Deposit-published final state.
+// With a nil proc it is exactly Run (plus the locally collected
+// deposits). RunProc must be called collectively — every process of the
+// mesh, same size and equivalent fn.
+func RunProc(size int, opts Options, proc *Proc, fn func(*Comm) error) (*trace.Report, map[int][]phys.Particle, error) {
+	rt := newRuntime(size, opts.MailboxCap)
+	if proc != nil {
+		if err := rt.bindProc(proc); err != nil {
+			return nil, nil, err
+		}
+	}
 	var cm *commMetrics
 	if o := opts.Observe; o != nil {
 		o.Timeline.SetPhaseNamesIfUnset(trace.PhaseNames())
 		cm = newCommMetrics(o.Metrics, o.EnsureMatrix(len(trace.PhaseNames()), size))
+	} else if proc != nil {
+		// Unobserved distributed processes still count traffic into a
+		// shadow matrix, so the observed leader's merged matrix covers
+		// the whole world.
+		rt.shadow = obs.NewCommMatrix(len(trace.PhaseNames()), size)
+		cm = newCommMetrics(nil, rt.shadow)
 	}
 	var wg sync.WaitGroup
-	wg.Add(size)
-	for r := 0; r < size; r++ {
+	wg.Add(rt.hi - rt.lo)
+	for r := rt.lo; r < rt.hi; r++ {
 		var tr *obs.Tracer
 		if o := opts.Observe; o != nil {
 			tr = o.Timeline.Rank(r)
@@ -218,7 +276,7 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 				case errAborted:
 					// Peer failed first; nothing to report.
 				default:
-					rt.fail(fmt.Errorf("comm: rank %d panicked: %v", c.rank, v))
+					rt.fail(fmt.Errorf("comm: rank %d panicked: %v\n%s", c.rank, v, debug.Stack()))
 				}
 			}()
 			c.stats.SetTracer(c.tr)
@@ -228,6 +286,18 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 		}(world)
 	}
 	wg.Wait()
+	if proc != nil {
+		// Detach before the result exchange, not after: once every local
+		// rank has returned, all of this run's inbound traffic has been
+		// consumed (each rank completed its deterministic receive
+		// schedule), so any frame arriving from here on belongs to the
+		// peer's NEXT run — it must buffer in the mesh for the next
+		// Attach, not be swallowed by this run's dead mailboxes. A peer
+		// can race ahead like that because the leader finishes the result
+		// exchange first and may re-enter RunProc immediately.
+		rt.unbindProc()
+		return rt.joinDistributed(opts)
+	}
 	rep := rt.Report()
 	if o := opts.Observe; o != nil {
 		// Stamp ring-wraparound losses on the report and as a gauge, so a
@@ -238,7 +308,7 @@ func Run(size int, opts Options, fn func(*Comm) error) (*trace.Report, error) {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rep, rt.err
+	return rep, rt.deposits, rt.err
 }
 
 // commMetrics holds the substrate's pre-resolved registry instruments,

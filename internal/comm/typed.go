@@ -36,19 +36,20 @@ func (c *Comm) SendParticles(to, tag int, ps []phys.Particle) {
 // RecvParticles blocks for the next typed particle message from rank
 // `from` and returns its payload, owned by the caller.
 func (c *Comm) RecvParticles(from, tag int) []phys.Particle {
-	return c.recvMsg(from, tag).particlesPayload()
+	return c.recvMsg(from, tag).particlesPayload(c)
 }
 
 // SendrecvParticles is Sendrecv over the typed transport: it ships ps to
 // rank `to` and adopts the payload arriving from rank `from`. The
 // degenerate single-rank ring returns ps untouched without involving the
-// mailboxes or the accounting.
+// mailboxes or the accounting. Like Sendrecv, the exchange offers send
+// and receive simultaneously so a ring shift cannot deadlock on a full
+// mailbox or socket queue.
 func (c *Comm) SendrecvParticles(to int, ps []phys.Particle, from, tag int) []phys.Particle {
 	if to == c.rank && from == c.rank {
 		return ps
 	}
-	c.SendParticles(to, tag, ps)
-	return c.RecvParticles(from, tag)
+	return c.sendrecvMsg(to, tag, particlesMsg(ps), from).particlesPayload(c)
 }
 
 // SendTeamParticles is SendParticles with a source-team frame: the
@@ -62,7 +63,7 @@ func (c *Comm) SendTeamParticles(to, tag, team int, ps []phys.Particle) {
 // RecvTeamParticles blocks for the next framed particle message from
 // rank `from` and returns the source team and the payload.
 func (c *Comm) RecvTeamParticles(from, tag int) (int, []phys.Particle) {
-	return c.recvMsg(from, tag).teamParticlesPayload()
+	return c.recvMsg(from, tag).teamParticlesPayload(c)
 }
 
 // SendrecvTeamParticles is SendrecvParticles for framed payloads: the
@@ -71,8 +72,7 @@ func (c *Comm) SendrecvTeamParticles(to, team int, ps []phys.Particle, from, tag
 	if to == c.rank && from == c.rank {
 		return team, ps
 	}
-	c.SendTeamParticles(to, tag, team, ps)
-	return c.RecvTeamParticles(from, tag)
+	return c.sendrecvMsg(to, tag, teamParticlesMsg(team, ps), from).teamParticlesPayload(c)
 }
 
 // SendF64s delivers vals to rank `to` by reference, charging 8 bytes per
@@ -84,7 +84,7 @@ func (c *Comm) SendF64s(to, tag int, vals []float64) {
 // RecvF64s blocks for the next typed float64 message from rank `from`
 // and returns its payload, owned by the caller.
 func (c *Comm) RecvF64s(from, tag int) []float64 {
-	return c.recvMsg(from, tag).f64sPayload()
+	return c.recvMsg(from, tag).f64sPayload(c)
 }
 
 // SendrecvF64s is Sendrecv over typed float64 payloads, the hop of the
@@ -93,6 +93,5 @@ func (c *Comm) SendrecvF64s(to int, vals []float64, from, tag int) []float64 {
 	if to == c.rank && from == c.rank {
 		return vals
 	}
-	c.SendF64s(to, tag, vals)
-	return c.RecvF64s(from, tag)
+	return c.sendrecvMsg(to, tag, f64sMsg(vals), from).f64sPayload(c)
 }

@@ -39,11 +39,8 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 	shifts := pr.P / (pr.C * pr.C) // shift steps per timestep
 	perS, perW := directBounds(n, pr)
 
-	// results[t] is written only by the leader of team t.
-	results := make([][]phys.Particle, T)
-
 	rr := newRunRecorder(pr)
-	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
+	report, results, err := comm.RunProc(pr.P, pr.Options, pr.Proc, func(world *comm.Comm) error {
 		rank := world.Rank()
 		row, col := grid.Coord(rank)
 		// Row communicator: all ranks with the same row, ordered by
@@ -188,7 +185,10 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 		}
 
 		if row == 0 {
-			results[col] = mine
+			// The team leader deposits the final block under its team id;
+			// RunProc merges deposits across processes in a distributed
+			// run, so every process gathers the complete state.
+			world.Deposit(col, mine)
 		}
 		return nil
 	})
@@ -200,8 +200,9 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 	return gatherResults(results, n), report, nil
 }
 
-// gatherResults flattens per-team outputs and sorts them by ID.
-func gatherResults(results [][]phys.Particle, n int) []phys.Particle {
+// gatherResults flattens slot-keyed outputs and sorts them by ID (the
+// sort makes the slot iteration order irrelevant).
+func gatherResults(results map[int][]phys.Particle, n int) []phys.Particle {
 	out := make([]phys.Particle, 0, n)
 	for _, r := range results {
 		out = append(out, r...)

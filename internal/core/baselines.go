@@ -46,10 +46,9 @@ func NaiveAllGather(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Repo
 		return nil, nil, fmt.Errorf("core: naive decomposition needs p | n, got n=%d p=%d", n, pr.P)
 	}
 	npr := n / pr.P
-	results := make([][]phys.Particle, pr.P)
 	perS, perW := directBounds(n, pr)
 
-	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
+	report, results, err := comm.RunProc(pr.P, pr.Options, pr.Proc, func(world *comm.Comm) error {
 		rank := world.Rank()
 		st := world.Stats()
 		mine := append([]phys.Particle(nil), ps[rank*npr:(rank+1)*npr]...)
@@ -73,7 +72,7 @@ func NaiveAllGather(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Repo
 			st.SetPhase(trace.Other)
 			probe.stampStep()
 		}
-		results[rank] = mine
+		world.Deposit(rank, mine)
 		return nil
 	})
 	stampReport(report, perS, perW, pr.Steps)

@@ -59,6 +59,12 @@ type Params struct {
 	// unless Options.Observe is also set — the sampler reads the
 	// observer's matrix and metrics.
 	Record *record.Recorder
+	// Proc, when non-nil, spans the run across the OS processes of a
+	// socket mesh (comm.JoinProcs): this process executes only its
+	// share of the P ranks and remote traffic travels the wire. Every
+	// process of the mesh must call the same driver with the same
+	// parameters and input. Nil runs all P ranks in-process.
+	Proc *comm.Proc
 }
 
 // Teams returns the number of teams p/c.
@@ -94,6 +100,10 @@ func (pr Params) validateCommon(n int) error {
 	}
 	if pr.Workers < 0 {
 		return fmt.Errorf("core: negative worker count %d", pr.Workers)
+	}
+	if pr.Proc != nil && pr.Proc.WorldSize() != pr.P {
+		return fmt.Errorf("core: p=%d but the process mesh spans %d ranks (%d procs × %d)",
+			pr.P, pr.Proc.WorldSize(), pr.Proc.NumProcs(), pr.Proc.RanksPerProc())
 	}
 	if n <= 0 {
 		return fmt.Errorf("core: empty particle set")

@@ -63,11 +63,10 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 	}
 	wrap := pr.Box.Boundary == phys.Periodic
 	dirs := migrationDirs(pr.Box.Dim)
-	results := make([][]phys.Particle, T)
 	perS, perW := cutoffBounds(n, pr)
 
 	rr := newRunRecorder(pr)
-	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
+	report, results, err := comm.RunProc(pr.P, pr.Options, pr.Proc, func(world *comm.Comm) error {
 		rank := world.Rank()
 		layer, team := grid.Coord(rank)
 		st := world.Stats()
@@ -237,7 +236,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		}
 
 		if layer == 0 {
-			results[team] = mine
+			world.Deposit(team, mine)
 		}
 		return nil
 	})

@@ -72,11 +72,10 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 		}
 	}
 	dirs := migrationDirs(dim)
-	results := make([][]phys.Particle, T)
 	perS, perW := cutoffBounds(n, pr)
 
 	rr := newRunRecorder(pr)
-	report, err := comm.Run(pr.P, pr.Options, func(world *comm.Comm) error {
+	report, results, err := comm.RunProc(pr.P, pr.Options, pr.Proc, func(world *comm.Comm) error {
 		me := world.Rank()
 		st := world.Stats()
 		x := newXfer(pr.Encoded, me, false)
@@ -261,7 +260,7 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 				}
 			}
 		}
-		results[me] = mine
+		world.Deposit(me, mine)
 		return nil
 	})
 	stampReport(report, perS, perW, pr.Steps)

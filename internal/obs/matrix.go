@@ -182,6 +182,46 @@ func (m *CommMatrix) Snapshot(nameOf func(int) string) MatrixSnapshot {
 	return out
 }
 
+// Merge folds a snapshot taken on another process into this matrix,
+// cell by cell. In a multi-process run each send is stamped once (at
+// the sender's process) and each receive once (at the receiver's), so
+// cell-wise addition of every process's matrix reconstructs the exact
+// global matrix a single-process run would have produced. Snapshot
+// phases outside this matrix's dimensions are dropped, matching cell's
+// policy for out-of-range traffic. Nil-safe.
+func (m *CommMatrix) Merge(s MatrixSnapshot) {
+	if m == nil {
+		return
+	}
+	for _, ps := range s.Phases {
+		if ps.Phase < 0 || ps.Phase >= m.phases {
+			continue
+		}
+		t := &m.totals[ps.Phase]
+		for src := 0; src < len(ps.SentMsgs) && src < m.ranks; src++ {
+			for dst := 0; dst < len(ps.SentMsgs[src]) && dst < m.ranks; dst++ {
+				c := m.cell(ps.Phase, src, dst)
+				if n := ps.SentMsgs[src][dst]; n != 0 {
+					c.sentMsgs.Add(n)
+					t.sentMsgs.Add(n)
+				}
+				if n := ps.SentBytes[src][dst]; n != 0 {
+					c.sentBytes.Add(n)
+					t.sentBytes.Add(n)
+				}
+				if n := ps.RecvMsgs[src][dst]; n != 0 {
+					c.recvMsgs.Add(n)
+					t.recvMsgs.Add(n)
+				}
+				if n := ps.RecvBytes[src][dst]; n != 0 {
+					c.recvBytes.Add(n)
+					t.recvBytes.Add(n)
+				}
+			}
+		}
+	}
+}
+
 // RankTraffic is one world rank's traffic totals.
 type RankTraffic struct {
 	Rank      int   `json:"rank"`

@@ -290,6 +290,11 @@ type DiffOptions struct {
 	Threshold float64
 	// PerMetric overrides the threshold for exact metric names.
 	PerMetric map[string]float64
+	// Exact lists substrings of metric names that must match exactly:
+	// any difference at all breaches, regardless of direction or
+	// threshold. Used to hold deterministic quantities (message counts,
+	// measured S/W) invariant, e.g. across transports.
+	Exact []string
 }
 
 // Diff compares the metrics present in both docs and returns rows
@@ -320,6 +325,11 @@ func Diff(oldDoc, newDoc MetricDoc, opt DiffOptions) []DiffRow {
 				row.Breach = row.Ratio > thr
 			case WorseDown:
 				row.Breach = row.Ratio < 1/thr
+			}
+		}
+		for _, sub := range opt.Exact {
+			if strings.Contains(name, sub) && ov != nv {
+				row.Breach = true
 			}
 		}
 		rows = append(rows, row)

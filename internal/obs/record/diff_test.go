@@ -167,6 +167,36 @@ func TestDiffWorseDownAndOverrides(t *testing.T) {
 	}
 }
 
+func TestDiffExactGate(t *testing.T) {
+	oldDoc := MetricDoc{Metrics: map[string]float64{
+		"phase.shift.sent_msgs_per_step": 8,
+		"comm.s.measured":                64,
+		"step.wall_ns.p50":               1000,
+	}}
+	newDoc := MetricDoc{Metrics: map[string]float64{
+		"phase.shift.sent_msgs_per_step": 9,    // within any ratio threshold, but not exact
+		"comm.s.measured":                64,   // identical: passes the exact gate
+		"step.wall_ns.p50":               1400, // wall time drifts; not gated exactly
+	}}
+	rows := Diff(oldDoc, newDoc, DiffOptions{
+		Threshold: 0, // report-only by ratio; only the exact gate may breach
+		Exact:     []string{"sent_msgs", "comm.s.measured"},
+	})
+	got := map[string]DiffRow{}
+	for _, r := range rows {
+		got[r.Name] = r
+	}
+	if !got["phase.shift.sent_msgs_per_step"].Breach {
+		t.Error("8 → 9 messages survived an exact gate")
+	}
+	if got["comm.s.measured"].Breach {
+		t.Error("identical comm.s.measured breached")
+	}
+	if got["step.wall_ns.p50"].Breach {
+		t.Error("ungated wall time breached with threshold 0")
+	}
+}
+
 func TestFoldBenchJSON(t *testing.T) {
 	data := []byte(`{
 		"kind": "canbody-bench",

@@ -1,0 +1,54 @@
+#!/bin/sh
+# netsmoke: the multi-process transport gate `make check` runs.
+#
+# For each of the three timestep loops (ca-all-pairs, ca-cutoff,
+# midpoint) it runs the same configuration twice — once with every rank
+# in-process, once spanned across OS processes over TCP loopback via
+# -spawn — and requires the two runs to be indistinguishable:
+#
+#   * the saved checkpoints must be bitwise identical (`cmp`), and
+#   * the flight recordings must agree exactly on every deterministic
+#     communication quantity (per-phase sent/recv message and byte
+#     counts, measured S and W, step count), checked with obsdiff's
+#     -exact gate. Wall-clock metrics are reported but not gated.
+#
+# Any divergence means the wire transport changed what the simulation
+# computed or how much it communicated — both are bugs by the
+# transport-fidelity contract (DESIGN.md, "wire transport").
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/netsmoke.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+$GO build -o "$tmp/nbody" ./cmd/nbody
+$GO build -o "$tmp/obsdiff" ./cmd/obsdiff
+
+run_case() {
+    name=$1; rpp=$2; shift 2
+    echo "netsmoke: $name"
+    "$tmp/nbody" "$@" -save "$tmp/$name.single.ckpt" \
+        -record-out "$tmp/$name.single.jsonl" >/dev/null
+    "$tmp/nbody" "$@" -ranks-per-proc "$rpp" -spawn \
+        -save "$tmp/$name.multi.ckpt" \
+        -record-out "$tmp/$name.multi.jsonl" >/dev/null
+    if ! cmp -s "$tmp/$name.single.ckpt" "$tmp/$name.multi.ckpt"; then
+        echo "netsmoke: $name: final states differ between transports" >&2
+        exit 1
+    fi
+    if ! "$tmp/obsdiff" -q -threshold 0 \
+        -exact sent_msgs -exact sent_bytes \
+        -exact recv_msgs -exact recv_bytes \
+        -exact comm.s.measured -exact comm.w.measured_bytes \
+        -exact steps \
+        "$tmp/$name.single.jsonl" "$tmp/$name.multi.jsonl"; then
+        echo "netsmoke: $name: communication accounting differs between transports" >&2
+        exit 1
+    fi
+}
+
+run_case allpairs 2 -n 64 -p 4 -c 2 -steps 4 -seed 3
+run_case cutoff 8 -n 128 -p 16 -c 1 -cutoff 2 -steps 4 -seed 3
+run_case midpoint 2 -alg midpoint -n 64 -p 4 -dim 1 -cutoff 4 -steps 4 -seed 3
+
+echo "netsmoke: ok — socket and in-process transports are indistinguishable"
