@@ -21,18 +21,19 @@ test:
 # layer, and — since the zero-copy typed transport — the core timestep
 # loops, whose buffers cross rank goroutines by reference under an
 # ownership-transfer contract. The phys worker pool adds a second tier
-# of goroutines (intra-rank force tiles). Run all four under the race
+# of goroutines (intra-rank force tiles), and the SoA tile scratch in
+# internal/vec feeds those workers. Run all five under the race
 # detector: for core and phys it is the mechanical check of those
 # contracts.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/core/... ./internal/phys/...
+	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/core/... ./internal/phys/... ./internal/vec/...
 
 # obsdebug builds enforce the Stats single-goroutine ownership contract
 # (pool workers never touch Stats; only the rank goroutine stamps).
 # internal/obs rides along so the live hub's mid-run serving is also
 # exercised under the debug assertions.
 obsdebug:
-	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/... ./internal/phys/... ./internal/obs/...
+	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/... ./internal/phys/... ./internal/vec/... ./internal/obs/...
 
 # Benchmark guard: the disabled observability path must not allocate
 # (asserted by TestDisabledPathAllocs) and the benchmark must run clean.
@@ -72,13 +73,14 @@ netsmoke:
 # tighter human-reviewed comparisons use obsdiff directly on recordings.
 benchdiff:
 	$(GO) run ./cmd/bench -quick -o /tmp/canbody_benchdiff.json
-	$(GO) run ./cmd/obsdiff -threshold 8 BENCH_PR6.json /tmp/canbody_benchdiff.json
+	$(GO) run ./cmd/obsdiff -threshold 8 BENCH_PR8.json /tmp/canbody_benchdiff.json
 
 # Full benchmark report: kernel microbenchmarks (generic vs specialized,
-# pooled worker widths), speedups, end-to-end per-step wall times, the
-# typed-vs-encoded transport comparison, the rank×worker scaling grid,
-# and the flight-recorder overhead, written to BENCH_PR6.json. The obs
-# micro-benchmarks ride along.
+# the tile-width × kernel grid, pooled worker widths), speedups,
+# end-to-end per-step wall times, the typed-vs-encoded transport
+# comparison, the rank×worker scaling grid, and the flight-recorder
+# overhead, written to BENCH_PR8.json. The obs micro-benchmarks ride
+# along.
 bench:
-	$(GO) run ./cmd/bench -o BENCH_PR6.json
+	$(GO) run ./cmd/bench -o BENCH_PR8.json
 	$(GO) test -run NONE -bench . -benchtime 1s ./internal/obs/

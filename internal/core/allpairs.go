@@ -85,7 +85,7 @@ func AllPairs(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, er
 		// blocks — bitwise-identical for any worker count — and in
 		// overlap mode its workers compute on the held buffer while the
 		// next exchange is in flight, reading only the read-only view.
-		kern := pr.Law.Kernel()
+		kern := pr.Law.Kernel().WithTile(pr.Tile)
 		pool := phys.NewPool(pr.WorkersPerRank())
 		defer pool.Close()
 		po := newPoolObs(pool, st, mx)

@@ -118,7 +118,7 @@ func Cutoff(ps []phys.Particle, pr Params) ([]phys.Particle, *trace.Report, erro
 		// accumulation by disjoint target blocks (bitwise-identical for
 		// any worker count); under Overlap its workers read the held
 		// buffer while the next shift is in flight.
-		kern := pr.Law.Kernel()
+		kern := pr.Law.Kernel().WithTile(pr.Tile)
 		pool := phys.NewPool(pr.WorkersPerRank())
 		defer pool.Close()
 		po := newPoolObs(pool, st, mx)

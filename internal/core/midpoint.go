@@ -10,6 +10,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/vec"
 )
 
 // Midpoint1D runs the midpoint method on a one-dimensional spatial
@@ -159,6 +160,8 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 			rc2 := pr.Law.Cutoff * pr.Law.Cutoff
 			open := pr.Law
 			open.Cutoff = 0
+			kern := open.Kernel()
+			tw := phys.TileWidth(pr.Tile)
 			// Prefix sums give every particle a global target index the
 			// pool can partition.
 			cellStart := make([]int, len(cells)+1)
@@ -170,6 +173,15 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 				ci := sort.SearchInts(cellStart, lo+1) - 1
 				li := lo - cellStart[ci]
 				var pairs int64
+				// The eligibility gates (identity, midpoint ownership,
+				// cutoff) stay per-pair branches — they decide which
+				// sources interact at all — but eligible sources are
+				// staged into an SoA tile and folded through the
+				// specialized open-law sweep. Flushing at tile
+				// boundaries only groups consecutive adds of the same
+				// in-order fold, so every tile width reproduces the
+				// per-pair loop bitwise.
+				var soa vec.SoA
 				for g := lo; g < hi; g++ {
 					for li >= len(cells[ci].particles) {
 						ci++
@@ -177,6 +189,7 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 					}
 					t := &cells[ci].particles[li]
 					f := t.Force
+					staged := 0
 					for b := range cells {
 						pb := cells[b].particles
 						for j := range pb {
@@ -191,9 +204,22 @@ func midpointND(ps []phys.Particle, pr Params, dim int) ([]phys.Particle, *trace
 							if t.Pos.Dist2(s.Pos) > rc2 {
 								continue
 							}
-							f = f.Add(open.Pair(t.Pos, s.Pos))
+							if tw == 0 {
+								f = f.Add(open.Pair(t.Pos, s.Pos))
+								pairs++
+								continue
+							}
+							soa.X[staged], soa.Y[staged] = s.Pos.X, s.Pos.Y
+							staged++
 							pairs++
+							if staged == tw {
+								f.X, f.Y = kern.SweepStaged(f.X, f.Y, t.Pos.X, t.Pos.Y, &soa, staged)
+								staged = 0
+							}
 						}
+					}
+					if staged > 0 {
+						f.X, f.Y = kern.SweepStaged(f.X, f.Y, t.Pos.X, t.Pos.Y, &soa, staged)
 					}
 					t.Force = f
 					li++

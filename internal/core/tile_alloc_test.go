@@ -1,0 +1,80 @@
+//go:build !obsdebug
+
+// Tiled steady-state allocation guard; release builds only (the
+// obsdebug Stats ownership guard deliberately allocates).
+
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/phys"
+)
+
+// TestTiledStepsAllocFree is the end-to-end malloc-delta guard for the
+// tiled kernel paths: the SoA staging tile and the compaction scratch
+// are stack-resident, so extra steps of a tiled pooled run may not
+// allocate at all (all-pairs, absolute) or more than the same untiled
+// run (cutoff, relative — its migration payloads are data-dependent
+// but bitwise-identical across tile widths, so the mallocs cancel).
+func TestTiledStepsAllocFree(t *testing.T) {
+	const c, n = 2, 32
+	mallocs := func(run func()) uint64 {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		run()
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+
+	allpairs := func(steps, tile int) func() {
+		return func() {
+			pr := defaultParams(4, c, steps)
+			pr.Workers = 2
+			pr.Tile = tile
+			if _, _, err := AllPairs(phys.InitUniform(n, pr.Box, 5), pr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, tile := range []int{7, 64} {
+		allpairs(2, tile)() // warm lazy runtime and package state
+		base := mallocs(allpairs(2, tile))
+		long := mallocs(allpairs(12, tile))
+		if long > base {
+			t.Errorf("allpairs tile=%d: 10 extra tiled steps allocated %d times, want 0 (2-step run %d mallocs, 12-step run %d)",
+				tile, long-base, base, long)
+		}
+	}
+
+	cutoff := func(steps, tile int) func() {
+		return func() {
+			pr := cutoffParams(8, c, 1, phys.Periodic)
+			pr.Steps = steps
+			pr.Tile = tile
+			if _, _, err := Cutoff(phys.InitLattice(n, pr.Box, 5), pr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cutoff(2, 7)()
+	cutoff(2, 0)() // warm both widths
+	// Min over a few samples: a background GC starting mid-run can
+	// inject a handful of unrelated mallocs into a single measurement.
+	perStep := func(tile int) uint64 {
+		best := mallocs(cutoff(12, tile)) - mallocs(cutoff(2, tile))
+		for i := 0; i < 2; i++ {
+			if d := mallocs(cutoff(12, tile)) - mallocs(cutoff(2, tile)); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	tiled := perStep(7)
+	defaultWidth := perStep(0)
+	if tiled > defaultWidth {
+		t.Errorf("cutoff: tile=7 steps allocated %d more than the default width over 10 extra steps, want 0 (default %d, tiled %d)",
+			tiled-defaultWidth, defaultWidth, tiled)
+	}
+}

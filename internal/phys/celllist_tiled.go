@@ -1,0 +1,87 @@
+package phys
+
+import "repro/internal/vec"
+
+// Tiled cell-list sweeps: the member list of each neighbor cell is
+// staged into an SoA tile (with the member's particle index in the ID
+// lane, standing in for the identity gate) and swept across every
+// target of the home cell through the same compact-then-sweep pair as
+// the AccumulateIn cutoff kernels. Relative to forcesRep/forcesLJ this
+// swaps the loop nesting — neighbor tile outside, targets inside — so
+// each member is loaded once per tile instead of once per target, and
+// the cutoff test and periodic wraps run branch-free.
+//
+// Bitwise identity with the untiled loops holds because each target
+// still folds its contributions in exactly the reference order: for a
+// fixed target the traversal remains (neighbor cell ascending, member
+// ascending) — re-nesting moved only which target consumes a staged
+// tile next, never the order of sources within one target — and
+// parking the force accumulator back in ps between tiles is exact.
+// The cell-list flavor skips beyond-cutoff and identity pairs without
+// any add (like AccumulateIn, unlike Accumulate), which is what makes
+// the compaction legal; the counted coincident pair's +0 add survives
+// via the nonzero mask in the sweep.
+
+func (cl *CellList) forcesRepTiled(ps []Particle, k *Kernel, lo, hi, tw int) {
+	kk, soft2, rc2 := k.k, k.soft2, k.rc2
+	periodic, dim2, boxL := cl.box.Boundary == Periodic, cl.box.Dim >= 2, cl.box.L
+	half := boxL / 2
+	var soa vec.SoA
+	var cs cutScratch
+	for c := lo; c < hi; c++ {
+		tcell := cl.cells[c]
+		if len(tcell) == 0 {
+			continue
+		}
+		for _, nc := range cl.neighbors[c] {
+			members := cl.cells[nc]
+			for base := 0; base < len(members); base += tw {
+				nt := len(members) - base
+				if nt > tw {
+					nt = tw
+				}
+				for j := 0; j < nt; j++ {
+					s := &ps[members[base+j]]
+					soa.X[j], soa.Y[j], soa.ID[j] = s.Pos.X, s.Pos.Y, uint32(members[base+j])
+				}
+				for _, ti := range tcell {
+					t := &ps[ti]
+					kc, _ := compactCut(&cs, &soa, nt, t.Pos.X, t.Pos.Y, uint32(ti), rc2, periodic, dim2, boxL, half)
+					t.Force.X, t.Force.Y = sweepCutRep(&cs, kc, t.Force.X, t.Force.Y, kk, soft2)
+				}
+			}
+		}
+	}
+}
+
+func (cl *CellList) forcesLJTiled(ps []Particle, k *Kernel, lo, hi, tw int) {
+	e24, sig2, soft2, rc2 := k.e24, k.sig2, k.soft2, k.rc2
+	periodic, dim2, boxL := cl.box.Boundary == Periodic, cl.box.Dim >= 2, cl.box.L
+	half := boxL / 2
+	var soa vec.SoA
+	var cs cutScratch
+	for c := lo; c < hi; c++ {
+		tcell := cl.cells[c]
+		if len(tcell) == 0 {
+			continue
+		}
+		for _, nc := range cl.neighbors[c] {
+			members := cl.cells[nc]
+			for base := 0; base < len(members); base += tw {
+				nt := len(members) - base
+				if nt > tw {
+					nt = tw
+				}
+				for j := 0; j < nt; j++ {
+					s := &ps[members[base+j]]
+					soa.X[j], soa.Y[j], soa.ID[j] = s.Pos.X, s.Pos.Y, uint32(members[base+j])
+				}
+				for _, ti := range tcell {
+					t := &ps[ti]
+					kc, _ := compactCut(&cs, &soa, nt, t.Pos.X, t.Pos.Y, uint32(ti), rc2, periodic, dim2, boxL, half)
+					t.Force.X, t.Force.Y = sweepCutLJ(&cs, kc, t.Force.X, t.Force.Y, e24, sig2, soft2)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,937 @@
+package phys
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// This file holds the tiled forms of the Kernel loops: the interaction
+// matrix is blocked into source tiles of up to vec.TileCap particles,
+// each tile is loaded once into a structure-of-arrays scratch
+// (vec.SoA), and the tile is swept across every target before the next
+// tile is touched. A source is therefore read from the particle slice
+// once per tile instead of once per target, and the sweep indexes three
+// dense arrays instead of striding through 52-byte particles.
+//
+// Two loop strategies share the tiling, picked by what the reference
+// path does with a pair that contributes no force:
+//
+//   - The AccumulateIn cutoff and cell-list flavors skip beyond-cutoff
+//     pairs without any add, which legalizes compaction: a gating pass
+//     computes each lane's box-metric displacement with sign-mask
+//     arithmetic (vec.NegMask) instead of data-dependent branches and
+//     compacts the survivors in source order into a scratch
+//     (cutScratch); a sweep pass then runs the sqrt/divide weights over
+//     the dense survivors — four sqrt lanes in flight to break SQRTSD's
+//     false output dependency (extending the untiled loops' two-wide
+//     unroll), two divide lanes for LJ — whose cutoff branch has
+//     vanished and whose `r2 != 0` branch is all but never taken. At
+//     typical cutoff densities the gating pass discards two thirds of
+//     the lanes before they reach the divider. These flavors run tiled
+//     by default (the measured win is 1.5-1.8x).
+//
+//   - The Accumulate and open-law AccumulateIn flavors add an exact +0
+//     for every counted force-free pair (beyond cutoff or coincident),
+//     so no pair's arithmetic may be skipped or reordered. Their tiled
+//     loops keep the untiled paths' branch structure — the same
+//     predictable `d2 <= rc2` / `r2 != 0` tests guarding the expensive
+//     weight math — over the SoA lanes. With every pair's weight
+//     mandatory, the divider is the bottleneck and the SoA layout buys
+//     nothing at these working-set sizes (measured slightly slower than
+//     the classic loops, and masking instead of branching measured
+//     slower still), so the auto tile routes these flavors to the
+//     classic loops; an explicit positive width forces the tiled form.
+//
+// Bitwise contract. Every tiled loop is bit-identical to its untiled
+// counterpart — and hence to the generic per-pair reference — for every
+// tile width, because:
+//
+//   - Per-target accumulation order is pinned: tiles are swept in
+//     ascending source order and lanes accumulate in ascending order
+//     within a tile, so each target folds its contributions in exactly
+//     the untiled sequence. Storing and reloading a force accumulator
+//     at a tile boundary is exact, so where the tile boundaries fall
+//     (the tile width) cannot affect the result.
+//   - The sign masks are exact predicates: fl(a-b) of two doubles is
+//     zero only when a == b and otherwise carries the sign of the exact
+//     difference (gradual underflow never flushes a nonzero difference
+//     to zero), so NegMask(rc2-d2) is precisely `d2 > rc2` and the
+//     masked minimum-image wrap is precisely the loop in minImage1.
+//   - Compaction only elides pairs for which the reference path
+//     performs no floating-point operation at all (beyond-cutoff pairs
+//     in the AccumulateIn/cell-list flavors, identity pairs), so the
+//     surviving operation sequence is unchanged.
+//
+// The same single-operation constant-hoisting rule as kernel.go
+// applies: σ², r_c², ε_s², 24ε only. Folding σ⁶, 1/r_c², or the l/2 of
+// the wrap into other constants would reassociate low-order bits.
+
+// WithTile returns a copy of k with the tile knob set: 0 (the default)
+// selects the auto policy — the compaction flavors run tiled at
+// vec.DefaultTile, the mandatory-zero-add flavors keep the classic
+// loops that measure faster for them — positive widths force the tiled
+// loops everywhere (clamped to vec.TileCap), and negative values select
+// the classic untiled loops everywhere. Every setting is
+// bitwise-identical; the knob exists for tuning and for benchmarking
+// the shapes against each other.
+func (k Kernel) WithTile(tile int) Kernel {
+	k.tile = tile
+	return k
+}
+
+// TileWidth resolves a tile knob value to the width the tiled loops run
+// with: vec.DefaultTile for 0 (auto), the explicit width clamped to
+// [1, vec.TileCap] for positive values, and 0 — meaning the classic
+// untiled loops — for negative values.
+func TileWidth(tile int) int {
+	switch {
+	case tile < 0:
+		return 0
+	case tile == 0:
+		return vec.DefaultTile
+	case tile > vec.TileCap:
+		return vec.TileCap
+	}
+	return tile
+}
+
+// neqMask returns 1 if a != b, else 0.
+func neqMask(a, b uint32) uint64 {
+	v := a ^ b
+	return uint64((v | -v) >> 31)
+}
+
+// wrap1 is minImage1 restricted to at most one image shift in either
+// direction — which covers any displacement of two in-box positions —
+// computed without data-dependent branches: each wrap condition becomes
+// a sign mask and the shift a masked subtraction. The masked arithmetic
+// is exact (d - +0 is d, bit for bit) and the masks are exact
+// predicates (see NegMask), so the result matches the loop's.
+// half must be l/2, the same value minImage1's conditions evaluate.
+// Displacements needing more than one shift (impossible for in-box
+// positions, but the kernels do not require callers to wrap) fall back
+// to the loop.
+//
+// This function is the documented, tested spec of the wrap; the hot
+// gating pass (compactCut) inlines its body by hand, because the
+// fallback call alone nearly fills the compiler's inlining budget and a
+// real call per lane costs more than the wrap it performs.
+func wrap1(d, l, half float64) float64 {
+	w := d - vec.Masked(l, vec.NegMask(half-d))
+	// The up-shift must be a subtraction of a masked -l, not an addition
+	// of a masked +l: w - (+0) is w bit for bit even at w = -0, whereas
+	// w + (+0) would round -0 up to +0. w - (-l) is exactly w + l.
+	w -= vec.Masked(-l, vec.NegMask(w+half))
+	if w > half || w < -half {
+		return minImage1(d, l)
+	}
+	return w
+}
+
+// cutScratch holds the survivors of a tile's gating pass: the
+// displacements and squared distances of the pairs that passed the
+// identity and cutoff gates, compacted in source order.
+type cutScratch struct {
+	dx, dy, d2 [vec.TileCap]float64
+}
+
+// compactCut is the gating pass of the cutoff compaction loops: it
+// computes the (box-metric) displacement of the target at (px, py) to
+// each of the nt staged sources, counts the non-identity pairs, and
+// compacts the lanes that pass both the identity gate (soa.ID[j] != id)
+// and the cutoff gate (d2 <= rc2) into cs, preserving source order.
+// The gates are sign-mask arithmetic, not branches: a rejected lane is
+// written to the scratch slot and then overwritten, instead of
+// mispredicting. Survivor displacements and squared distances are
+// exactly the values the untiled loop computes, so the caller's sweep
+// over cs reproduces its arithmetic bit for bit.
+func compactCut(cs *cutScratch, soa *vec.SoA, nt int, px, py float64, id uint32, rc2 float64, periodic, dim2 bool, boxL, half float64) (int, int64) {
+	kc := 0
+	var counted int64
+	for j := 0; j < nt; j++ {
+		dx := px - soa.X[j]
+		dy := py - soa.Y[j]
+		if periodic {
+			// wrap1, inlined by hand (see its comment). The fallback
+			// branch is never taken for in-box positions, so it predicts
+			// perfectly; only the masked arithmetic is on the hot path.
+			wx := dx - vec.Masked(boxL, vec.NegMask(half-dx))
+			wx -= vec.Masked(-boxL, vec.NegMask(wx+half))
+			if wx > half || wx < -half {
+				wx = minImage1(dx, boxL)
+			}
+			dx = wx
+			if dim2 {
+				wy := dy - vec.Masked(boxL, vec.NegMask(half-dy))
+				wy -= vec.Masked(-boxL, vec.NegMask(wy+half))
+				if wy > half || wy < -half {
+					wy = minImage1(dy, boxL)
+				}
+				dy = wy
+			}
+		}
+		d2 := dx*dx + dy*dy
+		idm := neqMask(soa.ID[j], id)
+		counted += int64(idm)
+		cs.dx[kc] = dx
+		cs.dy[kc] = dy
+		cs.d2[kc] = d2
+		kc += int(idm &^ vec.NegMask(rc2-d2) & 1)
+	}
+	return kc, counted
+}
+
+// sweepCutRep folds the repulsive force of the kc compacted survivors
+// in cs onto (fx, fy), in order. Four sqrt lanes run concurrently with
+// all four weights live before any is accumulated (breaking SQRTSD's
+// false output dependency); the `r2 != 0` branch is taken for every
+// survivor except an exactly-coincident zero-softening pair, so it
+// predicts perfectly, and that rare survivor contributes the same +0
+// the generic path adds.
+func sweepCutRep(cs *cutScratch, kc int, fx, fy, kk, soft2 float64) (float64, float64) {
+	m := 0
+	for ; m+3 < kc; m += 4 {
+		r20 := cs.d2[m] + soft2
+		r21 := cs.d2[m+1] + soft2
+		r22 := cs.d2[m+2] + soft2
+		r23 := cs.d2[m+3] + soft2
+		var w0, w1, w2, w3 float64
+		ok0, ok1, ok2, ok3 := false, false, false, false
+		if r20 != 0 {
+			w0 = kk / (r20 * math.Sqrt(r20))
+			ok0 = true
+		}
+		if r21 != 0 {
+			w1 = kk / (r21 * math.Sqrt(r21))
+			ok1 = true
+		}
+		if r22 != 0 {
+			w2 = kk / (r22 * math.Sqrt(r22))
+			ok2 = true
+		}
+		if r23 != 0 {
+			w3 = kk / (r23 * math.Sqrt(r23))
+			ok3 = true
+		}
+		if ok0 {
+			fx += w0 * cs.dx[m]
+			fy += w0 * cs.dy[m]
+		} else {
+			fx += 0
+			fy += 0
+		}
+		if ok1 {
+			fx += w1 * cs.dx[m+1]
+			fy += w1 * cs.dy[m+1]
+		} else {
+			fx += 0
+			fy += 0
+		}
+		if ok2 {
+			fx += w2 * cs.dx[m+2]
+			fy += w2 * cs.dy[m+2]
+		} else {
+			fx += 0
+			fy += 0
+		}
+		if ok3 {
+			fx += w3 * cs.dx[m+3]
+			fy += w3 * cs.dy[m+3]
+		} else {
+			fx += 0
+			fy += 0
+		}
+	}
+	for ; m < kc; m++ {
+		r2 := cs.d2[m] + soft2
+		if r2 == 0 {
+			fx += 0
+			fy += 0
+			continue
+		}
+		w := kk / (r2 * math.Sqrt(r2))
+		fx += w * cs.dx[m]
+		fy += w * cs.dy[m]
+	}
+	return fx, fy
+}
+
+// sweepCutLJ is the Lennard-Jones counterpart of sweepCutRep. DIVSD's
+// destination is a true input rewritten every iteration — there is no
+// false dependency to break — so two lanes in flight are enough to
+// cover the divider latency.
+func sweepCutLJ(cs *cutScratch, kc int, fx, fy, e24, sig2, soft2 float64) (float64, float64) {
+	m := 0
+	for ; m+1 < kc; m += 2 {
+		r20 := cs.d2[m] + soft2
+		r21 := cs.d2[m+1] + soft2
+		var w0, w1 float64
+		ok0, ok1 := false, false
+		if r20 != 0 {
+			s2 := sig2 / r20
+			s6 := s2 * s2 * s2
+			s12 := s6 * s6
+			w0 = e24 * (2*s12 - s6) / r20
+			ok0 = true
+		}
+		if r21 != 0 {
+			s2 := sig2 / r21
+			s6 := s2 * s2 * s2
+			s12 := s6 * s6
+			w1 = e24 * (2*s12 - s6) / r21
+			ok1 = true
+		}
+		if ok0 {
+			fx += w0 * cs.dx[m]
+			fy += w0 * cs.dy[m]
+		} else {
+			fx += 0
+			fy += 0
+		}
+		if ok1 {
+			fx += w1 * cs.dx[m+1]
+			fy += w1 * cs.dy[m+1]
+		} else {
+			fx += 0
+			fy += 0
+		}
+	}
+	for ; m < kc; m++ {
+		r2 := cs.d2[m] + soft2
+		if r2 == 0 {
+			fx += 0
+			fy += 0
+			continue
+		}
+		s2 := sig2 / r2
+		s6 := s2 * s2 * s2
+		s12 := s6 * s6
+		w := e24 * (2*s12 - s6) / r2
+		fx += w * cs.dx[m]
+		fy += w * cs.dy[m]
+	}
+	return fx, fy
+}
+
+// fillTile stages sources[base:base+nt] into the SoA scratch.
+func fillTile(soa *vec.SoA, sources []Particle, base, nt int) {
+	for j := 0; j < nt; j++ {
+		s := &sources[base+j]
+		soa.X[j], soa.Y[j], soa.ID[j] = s.Pos.X, s.Pos.Y, s.ID
+	}
+}
+
+// The Accumulate flavors add a value for every counted pair — the force
+// or the generic path's +0 — so their pairs cannot be compacted away.
+// Their tiled bodies keep the untiled loops' branch structure (the
+// cutoff and coincidence tests predict well and skip the expensive
+// weight math; computing every lane's weight and masking it off was
+// measured distinctly slower at realistic cutoff densities) and differ
+// only in reading the SoA tile and, for the repulsive flavors, in
+// keeping four sqrt lanes in flight instead of two.
+
+func (k *Kernel) accumulateRepOpenTiled(targets, sources []Particle, tw int) int64 {
+	kk, soft2 := k.k, k.soft2
+	var soa vec.SoA
+	var n int64
+	for base := 0; base < len(sources); base += tw {
+		nt := len(sources) - base
+		if nt > tw {
+			nt = tw
+		}
+		fillTile(&soa, sources, base, nt)
+		for i := range targets {
+			t := &targets[i]
+			fx, fy := t.Force.X, t.Force.Y
+			px, py, id := t.Pos.X, t.Pos.Y, t.ID
+			j := 0
+			for ; j+1 < nt; j += 2 {
+				var w0, w1, dx0, dy0, dx1, dy1 float64
+				ok0, ok1 := false, false
+				if soa.ID[j] != id {
+					n++
+					dx0 = px - soa.X[j]
+					dy0 = py - soa.Y[j]
+					r2 := dx0*dx0 + dy0*dy0 + soft2
+					if r2 != 0 {
+						w0 = kk / (r2 * math.Sqrt(r2))
+						ok0 = true
+					}
+				}
+				if soa.ID[j+1] != id {
+					n++
+					dx1 = px - soa.X[j+1]
+					dy1 = py - soa.Y[j+1]
+					r2 := dx1*dx1 + dy1*dy1 + soft2
+					if r2 != 0 {
+						w1 = kk / (r2 * math.Sqrt(r2))
+						ok1 = true
+					}
+				}
+				if ok0 {
+					fx += w0 * dx0
+					fy += w0 * dy0
+				} else if soa.ID[j] != id {
+					fx += 0
+					fy += 0
+				}
+				if ok1 {
+					fx += w1 * dx1
+					fy += w1 * dy1
+				} else if soa.ID[j+1] != id {
+					fx += 0
+					fy += 0
+				}
+			}
+			for ; j < nt; j++ {
+				if soa.ID[j] == id {
+					continue
+				}
+				n++
+				dx := px - soa.X[j]
+				dy := py - soa.Y[j]
+				r2 := dx*dx + dy*dy + soft2
+				if r2 == 0 {
+					fx += 0
+					fy += 0
+					continue
+				}
+				w := kk / (r2 * math.Sqrt(r2))
+				fx += w * dx
+				fy += w * dy
+			}
+			t.Force.X, t.Force.Y = fx, fy
+		}
+	}
+	return n
+}
+
+func (k *Kernel) accumulateRepCutTiled(targets, sources []Particle, tw int) int64 {
+	kk, soft2, rc2 := k.k, k.soft2, k.rc2
+	var soa vec.SoA
+	var n int64
+	for base := 0; base < len(sources); base += tw {
+		nt := len(sources) - base
+		if nt > tw {
+			nt = tw
+		}
+		fillTile(&soa, sources, base, nt)
+		for i := range targets {
+			t := &targets[i]
+			fx, fy := t.Force.X, t.Force.Y
+			px, py, id := t.Pos.X, t.Pos.Y, t.ID
+			j := 0
+			for ; j+1 < nt; j += 2 {
+				var w0, w1, dx0, dy0, dx1, dy1 float64
+				// Every counted pair without a force (beyond cutoff or
+				// exactly coincident) gets the zero add below, so
+				// `counted && !ok` is exactly the zero-add condition.
+				ok0, ok1 := false, false
+				if soa.ID[j] != id {
+					n++
+					dx0 = px - soa.X[j]
+					dy0 = py - soa.Y[j]
+					d2 := dx0*dx0 + dy0*dy0
+					if d2 <= rc2 {
+						r2 := d2 + soft2
+						if r2 != 0 {
+							w0 = kk / (r2 * math.Sqrt(r2))
+							ok0 = true
+						}
+					}
+				}
+				if soa.ID[j+1] != id {
+					n++
+					dx1 = px - soa.X[j+1]
+					dy1 = py - soa.Y[j+1]
+					d2 := dx1*dx1 + dy1*dy1
+					if d2 <= rc2 {
+						r2 := d2 + soft2
+						if r2 != 0 {
+							w1 = kk / (r2 * math.Sqrt(r2))
+							ok1 = true
+						}
+					}
+				}
+				if ok0 {
+					fx += w0 * dx0
+					fy += w0 * dy0
+				} else if soa.ID[j] != id {
+					fx += 0
+					fy += 0
+				}
+				if ok1 {
+					fx += w1 * dx1
+					fy += w1 * dy1
+				} else if soa.ID[j+1] != id {
+					fx += 0
+					fy += 0
+				}
+			}
+			for ; j < nt; j++ {
+				if soa.ID[j] == id {
+					continue
+				}
+				n++
+				dx := px - soa.X[j]
+				dy := py - soa.Y[j]
+				d2 := dx*dx + dy*dy
+				if d2 > rc2 {
+					fx += 0
+					fy += 0
+					continue
+				}
+				r2 := d2 + soft2
+				if r2 == 0 {
+					fx += 0
+					fy += 0
+					continue
+				}
+				w := kk / (r2 * math.Sqrt(r2))
+				fx += w * dx
+				fy += w * dy
+			}
+			t.Force.X, t.Force.Y = fx, fy
+		}
+	}
+	return n
+}
+
+func (k *Kernel) accumulateLJOpenTiled(targets, sources []Particle, tw int) int64 {
+	e24, sig2, soft2 := k.e24, k.sig2, k.soft2
+	var soa vec.SoA
+	var n int64
+	for base := 0; base < len(sources); base += tw {
+		nt := len(sources) - base
+		if nt > tw {
+			nt = tw
+		}
+		fillTile(&soa, sources, base, nt)
+		for i := range targets {
+			t := &targets[i]
+			fx, fy := t.Force.X, t.Force.Y
+			px, py, id := t.Pos.X, t.Pos.Y, t.ID
+			for j := 0; j < nt; j++ {
+				if soa.ID[j] == id {
+					continue
+				}
+				n++
+				dx := px - soa.X[j]
+				dy := py - soa.Y[j]
+				r2 := dx*dx + dy*dy + soft2
+				if r2 == 0 {
+					fx += 0
+					fy += 0
+					continue
+				}
+				s2 := sig2 / r2
+				s6 := s2 * s2 * s2
+				s12 := s6 * s6
+				w := e24 * (2*s12 - s6) / r2
+				fx += w * dx
+				fy += w * dy
+			}
+			t.Force.X, t.Force.Y = fx, fy
+		}
+	}
+	return n
+}
+
+func (k *Kernel) accumulateLJCutTiled(targets, sources []Particle, tw int) int64 {
+	e24, sig2, soft2, rc2 := k.e24, k.sig2, k.soft2, k.rc2
+	var soa vec.SoA
+	var n int64
+	for base := 0; base < len(sources); base += tw {
+		nt := len(sources) - base
+		if nt > tw {
+			nt = tw
+		}
+		fillTile(&soa, sources, base, nt)
+		for i := range targets {
+			t := &targets[i]
+			fx, fy := t.Force.X, t.Force.Y
+			px, py, id := t.Pos.X, t.Pos.Y, t.ID
+			for j := 0; j < nt; j++ {
+				if soa.ID[j] == id {
+					continue
+				}
+				n++
+				dx := px - soa.X[j]
+				dy := py - soa.Y[j]
+				d2 := dx*dx + dy*dy
+				if d2 > rc2 {
+					fx += 0
+					fy += 0
+					continue
+				}
+				r2 := d2 + soft2
+				if r2 == 0 {
+					fx += 0
+					fy += 0
+					continue
+				}
+				s2 := sig2 / r2
+				s6 := s2 * s2 * s2
+				s12 := s6 * s6
+				w := e24 * (2*s12 - s6) / r2
+				fx += w * dx
+				fy += w * dy
+			}
+			t.Force.X, t.Force.Y = fx, fy
+		}
+	}
+	return n
+}
+
+// The AccumulateIn open flavors have no cutoff to compact on — every
+// counted pair adds — so they mirror the untiled box-metric loops over
+// the SoA tile. They sit off the hot paths (the timestep loops pair the
+// box metric with a cutoff law), so they call minImage1 as the untiled
+// loops do rather than hand-inlining the masked wrap.
+
+func (k *Kernel) accumulateInRepOpenTiled(targets, sources []Particle, box Box, tw int) int64 {
+	kk, soft2 := k.k, k.soft2
+	periodic, dim2, boxL := box.Boundary == Periodic, box.Dim >= 2, box.L
+	var soa vec.SoA
+	var n int64
+	for base := 0; base < len(sources); base += tw {
+		nt := len(sources) - base
+		if nt > tw {
+			nt = tw
+		}
+		fillTile(&soa, sources, base, nt)
+		for i := range targets {
+			t := &targets[i]
+			fx, fy := t.Force.X, t.Force.Y
+			px, py, id := t.Pos.X, t.Pos.Y, t.ID
+			j := 0
+			for ; j+1 < nt; j += 2 {
+				var w0, w1, dx0, dy0, dx1, dy1 float64
+				ok0, ok1 := false, false
+				if soa.ID[j] != id {
+					n++
+					dx0 = px - soa.X[j]
+					dy0 = py - soa.Y[j]
+					if periodic {
+						dx0 = minImage1(dx0, boxL)
+						if dim2 {
+							dy0 = minImage1(dy0, boxL)
+						}
+					}
+					r2 := dx0*dx0 + dy0*dy0 + soft2
+					if r2 != 0 {
+						w0 = kk / (r2 * math.Sqrt(r2))
+						ok0 = true
+					}
+				}
+				if soa.ID[j+1] != id {
+					n++
+					dx1 = px - soa.X[j+1]
+					dy1 = py - soa.Y[j+1]
+					if periodic {
+						dx1 = minImage1(dx1, boxL)
+						if dim2 {
+							dy1 = minImage1(dy1, boxL)
+						}
+					}
+					r2 := dx1*dx1 + dy1*dy1 + soft2
+					if r2 != 0 {
+						w1 = kk / (r2 * math.Sqrt(r2))
+						ok1 = true
+					}
+				}
+				if ok0 {
+					fx += w0 * dx0
+					fy += w0 * dy0
+				} else if soa.ID[j] != id {
+					fx += 0
+					fy += 0
+				}
+				if ok1 {
+					fx += w1 * dx1
+					fy += w1 * dy1
+				} else if soa.ID[j+1] != id {
+					fx += 0
+					fy += 0
+				}
+			}
+			for ; j < nt; j++ {
+				if soa.ID[j] == id {
+					continue
+				}
+				n++
+				dx := px - soa.X[j]
+				dy := py - soa.Y[j]
+				if periodic {
+					dx = minImage1(dx, boxL)
+					if dim2 {
+						dy = minImage1(dy, boxL)
+					}
+				}
+				r2 := dx*dx + dy*dy + soft2
+				if r2 == 0 {
+					fx += 0
+					fy += 0
+					continue
+				}
+				w := kk / (r2 * math.Sqrt(r2))
+				fx += w * dx
+				fy += w * dy
+			}
+			t.Force.X, t.Force.Y = fx, fy
+		}
+	}
+	return n
+}
+
+func (k *Kernel) accumulateInLJOpenTiled(targets, sources []Particle, box Box, tw int) int64 {
+	e24, sig2, soft2 := k.e24, k.sig2, k.soft2
+	periodic, dim2, boxL := box.Boundary == Periodic, box.Dim >= 2, box.L
+	var soa vec.SoA
+	var n int64
+	for base := 0; base < len(sources); base += tw {
+		nt := len(sources) - base
+		if nt > tw {
+			nt = tw
+		}
+		fillTile(&soa, sources, base, nt)
+		for i := range targets {
+			t := &targets[i]
+			fx, fy := t.Force.X, t.Force.Y
+			px, py, id := t.Pos.X, t.Pos.Y, t.ID
+			for j := 0; j < nt; j++ {
+				if soa.ID[j] == id {
+					continue
+				}
+				n++
+				dx := px - soa.X[j]
+				dy := py - soa.Y[j]
+				if periodic {
+					dx = minImage1(dx, boxL)
+					if dim2 {
+						dy = minImage1(dy, boxL)
+					}
+				}
+				r2 := dx*dx + dy*dy + soft2
+				if r2 == 0 {
+					fx += 0
+					fy += 0
+					continue
+				}
+				s2 := sig2 / r2
+				s6 := s2 * s2 * s2
+				s12 := s6 * s6
+				w := e24 * (2*s12 - s6) / r2
+				fx += w * dx
+				fy += w * dy
+			}
+			t.Force.X, t.Force.Y = fx, fy
+		}
+	}
+	return n
+}
+
+// The AccumulateIn cutoff flavors compact: the generic path performs no
+// floating-point work at all for a beyond-cutoff pair (it is counted
+// and skipped, with no zero add), so the gating pass may drop such
+// lanes entirely and hand the dense survivor list to the weight sweep.
+// At typical cutoff densities this removes both the misprediction cost
+// of the cutoff branch and two thirds of the divider work.
+
+func (k *Kernel) accumulateInRepCutTiled(targets, sources []Particle, box Box, tw int) int64 {
+	kk, soft2, rc2 := k.k, k.soft2, k.rc2
+	periodic, dim2, boxL := box.Boundary == Periodic, box.Dim >= 2, box.L
+	half := boxL / 2
+	var soa vec.SoA
+	var cs cutScratch
+	var n int64
+	for base := 0; base < len(sources); base += tw {
+		nt := len(sources) - base
+		if nt > tw {
+			nt = tw
+		}
+		fillTile(&soa, sources, base, nt)
+		for i := range targets {
+			t := &targets[i]
+			px, py, id := t.Pos.X, t.Pos.Y, t.ID
+			kc, counted := compactCut(&cs, &soa, nt, px, py, id, rc2, periodic, dim2, boxL, half)
+			n += counted
+			t.Force.X, t.Force.Y = sweepCutRep(&cs, kc, t.Force.X, t.Force.Y, kk, soft2)
+		}
+	}
+	return n
+}
+
+func (k *Kernel) accumulateInLJCutTiled(targets, sources []Particle, box Box, tw int) int64 {
+	e24, sig2, soft2, rc2 := k.e24, k.sig2, k.soft2, k.rc2
+	periodic, dim2, boxL := box.Boundary == Periodic, box.Dim >= 2, box.L
+	half := boxL / 2
+	var soa vec.SoA
+	var cs cutScratch
+	var n int64
+	for base := 0; base < len(sources); base += tw {
+		nt := len(sources) - base
+		if nt > tw {
+			nt = tw
+		}
+		fillTile(&soa, sources, base, nt)
+		for i := range targets {
+			t := &targets[i]
+			px, py, id := t.Pos.X, t.Pos.Y, t.ID
+			kc, counted := compactCut(&cs, &soa, nt, px, py, id, rc2, periodic, dim2, boxL, half)
+			n += counted
+			t.Force.X, t.Force.Y = sweepCutLJ(&cs, kc, t.Force.X, t.Force.Y, e24, sig2, soft2)
+		}
+	}
+	return n
+}
+
+// SweepStaged accumulates onto (fx, fy) the open-law force on a target
+// at (px, py) from the first nt staged positions in soa, in lane order,
+// and returns the updated accumulators. It is the flush half of a
+// stage-and-sweep traversal: the caller applies its own eligibility
+// gates (cutoff, ownership, identity — the SoA ID lane is ignored)
+// while staging positions, and the sweep is bitwise-identical to
+// folding f = f.Add(openLaw.Pair(target, source)) over the staged
+// sources in order, including the exact +0 the generic path adds for a
+// coincident pair. The kernel's cutoff is not applied; stage only pairs
+// that already passed it. The midpoint timestep loop uses this to run
+// its gated traversal through the four-wide tiled arithmetic.
+func (k *Kernel) SweepStaged(fx, fy, px, py float64, soa *vec.SoA, nt int) (float64, float64) {
+	if k.lj {
+		e24, sig2, soft2 := k.e24, k.sig2, k.soft2
+		j := 0
+		for ; j+1 < nt; j += 2 {
+			dx0 := px - soa.X[j]
+			dy0 := py - soa.Y[j]
+			dx1 := px - soa.X[j+1]
+			dy1 := py - soa.Y[j+1]
+			r20 := dx0*dx0 + dy0*dy0 + soft2
+			r21 := dx1*dx1 + dy1*dy1 + soft2
+			var w0, w1 float64
+			ok0, ok1 := false, false
+			if r20 != 0 {
+				s2 := sig2 / r20
+				s6 := s2 * s2 * s2
+				s12 := s6 * s6
+				w0 = e24 * (2*s12 - s6) / r20
+				ok0 = true
+			}
+			if r21 != 0 {
+				s2 := sig2 / r21
+				s6 := s2 * s2 * s2
+				s12 := s6 * s6
+				w1 = e24 * (2*s12 - s6) / r21
+				ok1 = true
+			}
+			if ok0 {
+				fx += w0 * dx0
+				fy += w0 * dy0
+			} else {
+				fx += 0
+				fy += 0
+			}
+			if ok1 {
+				fx += w1 * dx1
+				fy += w1 * dy1
+			} else {
+				fx += 0
+				fy += 0
+			}
+		}
+		for ; j < nt; j++ {
+			dx := px - soa.X[j]
+			dy := py - soa.Y[j]
+			r2 := dx*dx + dy*dy + soft2
+			if r2 == 0 {
+				fx += 0
+				fy += 0
+				continue
+			}
+			s2 := sig2 / r2
+			s6 := s2 * s2 * s2
+			s12 := s6 * s6
+			w := e24 * (2*s12 - s6) / r2
+			fx += w * dx
+			fy += w * dy
+		}
+		return fx, fy
+	}
+	kk, soft2 := k.k, k.soft2
+	j := 0
+	for ; j+3 < nt; j += 4 {
+		dx0 := px - soa.X[j]
+		dy0 := py - soa.Y[j]
+		dx1 := px - soa.X[j+1]
+		dy1 := py - soa.Y[j+1]
+		dx2 := px - soa.X[j+2]
+		dy2 := py - soa.Y[j+2]
+		dx3 := px - soa.X[j+3]
+		dy3 := py - soa.Y[j+3]
+		r20 := dx0*dx0 + dy0*dy0 + soft2
+		r21 := dx1*dx1 + dy1*dy1 + soft2
+		r22 := dx2*dx2 + dy2*dy2 + soft2
+		r23 := dx3*dx3 + dy3*dy3 + soft2
+		var w0, w1, w2, w3 float64
+		ok0, ok1, ok2, ok3 := false, false, false, false
+		if r20 != 0 {
+			w0 = kk / (r20 * math.Sqrt(r20))
+			ok0 = true
+		}
+		if r21 != 0 {
+			w1 = kk / (r21 * math.Sqrt(r21))
+			ok1 = true
+		}
+		if r22 != 0 {
+			w2 = kk / (r22 * math.Sqrt(r22))
+			ok2 = true
+		}
+		if r23 != 0 {
+			w3 = kk / (r23 * math.Sqrt(r23))
+			ok3 = true
+		}
+		if ok0 {
+			fx += w0 * dx0
+			fy += w0 * dy0
+		} else {
+			fx += 0
+			fy += 0
+		}
+		if ok1 {
+			fx += w1 * dx1
+			fy += w1 * dy1
+		} else {
+			fx += 0
+			fy += 0
+		}
+		if ok2 {
+			fx += w2 * dx2
+			fy += w2 * dy2
+		} else {
+			fx += 0
+			fy += 0
+		}
+		if ok3 {
+			fx += w3 * dx3
+			fy += w3 * dy3
+		} else {
+			fx += 0
+			fy += 0
+		}
+	}
+	for ; j < nt; j++ {
+		dx := px - soa.X[j]
+		dy := py - soa.Y[j]
+		r2 := dx*dx + dy*dy + soft2
+		if r2 == 0 {
+			fx += 0
+			fy += 0
+			continue
+		}
+		w := kk / (r2 * math.Sqrt(r2))
+		fx += w * dx
+		fy += w * dy
+	}
+	return fx, fy
+}

@@ -1,0 +1,86 @@
+package phys
+
+import "testing"
+
+// Tile-grid microbenchmarks over the same batch shape as cmd/bench's
+// tile-kernel grid (256 targets, 512 sources, periodic 2D box, cutoff
+// 0.9), so kernel-loop changes can be timed here without a full bench
+// run:
+//
+//	go test -run NONE -bench Tiled -benchtime 300x ./internal/phys/
+//
+// The /untiled variants time the classic loops the tiled paths must
+// beat; cmd/bench records the authoritative grid in BENCH_PR8.json.
+
+func tileBenchBatch() ([]Particle, []Particle, Box) {
+	box := NewBox(3, 2, Periodic)
+	targets := InitUniform(256, box, 1)
+	sources := append(append([]Particle(nil), targets...), InitUniform(256, box, 2)...)
+	return targets, sources, box
+}
+
+func benchAccumulate(b *testing.B, law Law, tile int, in bool) {
+	targets, sources, box := tileBenchBatch()
+	kern := law.Kernel().WithTile(tile)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if in {
+			kern.AccumulateIn(targets, sources, box)
+		} else {
+			kern.Accumulate(targets, sources)
+		}
+	}
+}
+
+func BenchmarkTiledRepOpen(b *testing.B) {
+	law := Law{Kind: Repulsive, K: 1.3, Softening: 1e-3}
+	b.Run("untiled", func(b *testing.B) { benchAccumulate(b, law, -1, false) })
+	b.Run("t32", func(b *testing.B) { benchAccumulate(b, law, 32, false) })
+	b.Run("t64", func(b *testing.B) { benchAccumulate(b, law, 64, false) })
+}
+
+func BenchmarkTiledRepCut(b *testing.B) {
+	law := Law{Kind: Repulsive, K: 1.3, Softening: 1e-3, Cutoff: 0.9}
+	b.Run("untiled", func(b *testing.B) { benchAccumulate(b, law, -1, false) })
+	b.Run("t32", func(b *testing.B) { benchAccumulate(b, law, 32, false) })
+	b.Run("t64", func(b *testing.B) { benchAccumulate(b, law, 64, false) })
+}
+
+func BenchmarkTiledLJCut(b *testing.B) {
+	law := LJLaw(0.7, 0.4).WithCutoff(0.9)
+	b.Run("untiled", func(b *testing.B) { benchAccumulate(b, law, -1, false) })
+	b.Run("t32", func(b *testing.B) { benchAccumulate(b, law, 32, false) })
+	b.Run("t64", func(b *testing.B) { benchAccumulate(b, law, 64, false) })
+}
+
+func BenchmarkTiledRepCutIn(b *testing.B) {
+	law := Law{Kind: Repulsive, K: 1.3, Softening: 1e-3, Cutoff: 0.9}
+	b.Run("untiled", func(b *testing.B) { benchAccumulate(b, law, -1, true) })
+	b.Run("t32", func(b *testing.B) { benchAccumulate(b, law, 32, true) })
+	b.Run("t64", func(b *testing.B) { benchAccumulate(b, law, 64, true) })
+}
+
+func BenchmarkTiledLJCutIn(b *testing.B) {
+	law := LJLaw(0.7, 0.4).WithCutoff(0.9)
+	b.Run("untiled", func(b *testing.B) { benchAccumulate(b, law, -1, true) })
+	b.Run("t32", func(b *testing.B) { benchAccumulate(b, law, 32, true) })
+	b.Run("t64", func(b *testing.B) { benchAccumulate(b, law, 64, true) })
+}
+
+func BenchmarkTiledCellList(b *testing.B) {
+	box := NewBox(3, 2, Periodic)
+	ps := InitUniform(1024, box, 3)
+	law := LJLaw(0.7, 0.4).WithCutoff(0.9)
+	run := func(b *testing.B, tile int) {
+		work := append([]Particle(nil), ps...)
+		cl := NewCellList(work, 0.9, box)
+		kern := law.Kernel().WithTile(tile)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cl.ForcesKernel(work, kern, nil)
+		}
+	}
+	b.Run("untiled", func(b *testing.B) { run(b, -1) })
+	b.Run("t32", func(b *testing.B) { run(b, 32) })
+	b.Run("t64", func(b *testing.B) { run(b, 64) })
+}

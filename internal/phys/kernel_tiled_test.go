@@ -1,0 +1,209 @@
+package phys
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// tileGrid is the tile-knob space the invariance tests sweep: the
+// untiled classic loops (-1), auto (0), degenerate and odd widths that
+// exercise every unroll tail, the auto width itself and its neighbors,
+// the cap, and an over-cap value that must clamp.
+func tileGrid() []int {
+	return []int{-1, 0, 1, 2, 3, 5, 7, 8, 31, 32, 33, vec.TileCap, 1000}
+}
+
+func TestTileWidth(t *testing.T) {
+	cases := []struct{ tile, want int }{
+		{-1, 0}, {-100, 0},
+		{0, vec.DefaultTile},
+		{1, 1}, {7, 7}, {vec.TileCap, vec.TileCap},
+		{vec.TileCap + 1, vec.TileCap}, {1000, vec.TileCap},
+	}
+	for _, c := range cases {
+		if got := TileWidth(c.tile); got != c.want {
+			t.Errorf("TileWidth(%d) = %d, want %d", c.tile, got, c.want)
+		}
+	}
+}
+
+// TestWrap1MatchesMinImage1 pins the branch-free minimum-image wrap
+// against the loop for displacements across the whole fallback
+// boundary, including exact half-box and three-half-box edges.
+func TestWrap1MatchesMinImage1(t *testing.T) {
+	for _, l := range []float64{1, 3, 2.5, 1e-3, 1e300} {
+		half := l / 2
+		ds := []float64{
+			0, math.Copysign(0, -1), 0.1 * l, -0.1 * l,
+			half, -half, math.Nextafter(half, l), math.Nextafter(-half, -l),
+			0.9 * l, -0.9 * l, l, -l, 1.4 * l, -1.4 * l,
+			1.5 * l, -1.5 * l, 1.6 * l, -1.6 * l, 2.3 * l, -2.3 * l, 5 * l, -5 * l,
+		}
+		for _, d := range ds {
+			got := wrap1(d, l, half)
+			want := minImage1(d, l)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("wrap1(%g, %g) = %x, minImage1 = %x",
+					d, l, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestKernelTileInvariance verifies that every tile width — including
+// the untiled classic loops — produces bitwise-identical forces and
+// identical pair counts to the generic reference, for both entry
+// points, across the law grid, boundaries and dimensions. This is the
+// tile-size analogue of the PR 4 worker-count invariance contract.
+func TestKernelTileInvariance(t *testing.T) {
+	for _, boundary := range []Boundary{Reflective, Periodic} {
+		for _, dim := range []int{1, 2} {
+			box := NewBox(3, dim, boundary)
+			for _, law := range kernelLawGrid() {
+				law, box := law, box
+				t.Run(fmt.Sprintf("%v_%d/%v_rc%g_soft%g", boundary, dim, law.Kind, law.Cutoff, law.Softening), func(t *testing.T) {
+					targets := InitUniform(24, box, 1)
+					seedForces(targets)
+					sources := kernelSources(targets, box, 1)
+
+					generic := append([]Particle(nil), targets...)
+					ng := law.AccumulateGeneric(generic, sources)
+					genericIn := append([]Particle(nil), targets...)
+					ngIn := law.AccumulateInGeneric(genericIn, sources, box)
+
+					for _, tile := range tileGrid() {
+						kern := law.Kernel().WithTile(tile)
+
+						fast := append([]Particle(nil), targets...)
+						if nf := kern.Accumulate(fast, sources); nf != ng {
+							t.Fatalf("tile %d: Accumulate counted %d, generic %d", tile, nf, ng)
+						}
+						compareForces(t, fast, generic)
+
+						fastIn := append([]Particle(nil), targets...)
+						if nf := kern.AccumulateIn(fastIn, sources, box); nf != ngIn {
+							t.Fatalf("tile %d: AccumulateIn counted %d, generic %d", tile, nf, ngIn)
+						}
+						compareForces(t, fastIn, genericIn)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCellListTileInvariance does the same for the tiled cell sweeps:
+// every tile width matches the per-pair generic reference bitwise.
+func TestCellListTileInvariance(t *testing.T) {
+	for _, boundary := range []Boundary{Reflective, Periodic} {
+		for _, dim := range []int{1, 2} {
+			box := NewBox(4, dim, boundary)
+			laws := []Law{
+				DefaultLaw().WithCutoff(0.9),
+				{Kind: Repulsive, K: 1.3, Cutoff: 1.1}, // zero softening
+				LJLaw(0.7, 0.4).WithCutoff(0.9),
+			}
+			for _, law := range laws {
+				law, box := law, box
+				t.Run(fmt.Sprintf("%v_%d/%v", boundary, dim, law.Kind), func(t *testing.T) {
+					ps := InitUniform(40, box, 2)
+					cl := NewCellList(ps, law.Cutoff, box)
+
+					generic := append([]Particle(nil), ps...)
+					cl.ForcesGeneric(generic, law)
+
+					for _, tile := range tileGrid() {
+						fast := append([]Particle(nil), ps...)
+						cl.ForcesKernel(fast, law.Kernel().WithTile(tile), nil)
+						compareForces(t, fast, generic)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSweepStagedMatchesPairFold pins SweepStaged against the generic
+// fold it replaces in the midpoint loop: folding openLaw.Pair over the
+// staged sources in order, from a seeded (including -0) accumulator,
+// with a coincident pair staged to exercise the +0 add.
+func TestSweepStagedMatchesPairFold(t *testing.T) {
+	box := NewBox(3, 2, Reflective)
+	laws := []Law{
+		{Kind: Repulsive, K: 1.3, Softening: 1e-3},
+		{Kind: Repulsive, K: 1.3}, // zero softening: coincident pair hits the +0 path
+		LJLaw(0.7, 0.4),
+		{Kind: LennardJones, Epsilon: 0.7, Sigma: 0.4},
+	}
+	for _, law := range laws {
+		law := law
+		t.Run(fmt.Sprintf("%v_soft%g", law.Kind, law.Softening), func(t *testing.T) {
+			srcs := InitUniform(23, box, 3)
+			target := srcs[5] // coincides with staged source 5
+			for n := 0; n <= len(srcs); n++ {
+				var soa vec.SoA
+				fx, fy := math.Copysign(0, -1), 0.625
+				wantX, wantY := fx, fy
+				kern := law.Kernel()
+				for j := 0; j < n; j++ {
+					if j == vec.TileCap {
+						break
+					}
+					soa.X[j], soa.Y[j] = srcs[j].Pos.X, srcs[j].Pos.Y
+				}
+				nn := n
+				if nn > vec.TileCap {
+					nn = vec.TileCap
+				}
+				gotX, gotY := kern.SweepStaged(fx, fy, target.Pos.X, target.Pos.Y, &soa, nn)
+				for j := 0; j < nn; j++ {
+					f := law.Pair(target.Pos, srcs[j].Pos)
+					wantX += f.X
+					wantY += f.Y
+				}
+				if math.Float64bits(gotX) != math.Float64bits(wantX) || math.Float64bits(gotY) != math.Float64bits(wantY) {
+					t.Fatalf("n=%d: staged (%x,%x) != fold (%x,%x)", nn,
+						math.Float64bits(gotX), math.Float64bits(gotY),
+						math.Float64bits(wantX), math.Float64bits(wantY))
+				}
+			}
+		})
+	}
+}
+
+// TestTiledKernelAllocs guards the tiled paths' zero-allocation claim
+// for explicit tile widths (the default width rides along in
+// TestKernelAllocs): the SoA and compaction scratch must live on the
+// stack, never the heap.
+func TestTiledKernelAllocs(t *testing.T) {
+	box := NewBox(3, 2, Periodic)
+	for _, law := range []Law{DefaultLaw().WithCutoff(0.9), LJLaw(0.7, 0.4).WithCutoff(0.9)} {
+		for _, tile := range []int{1, 7, vec.TileCap} {
+			kern := law.Kernel().WithTile(tile)
+			targets := InitUniform(32, box, 1)
+			sources := kernelSources(targets, box, 1)
+
+			if a := testing.AllocsPerRun(10, func() { kern.Accumulate(targets, sources) }); a != 0 {
+				t.Errorf("tile %d: Accumulate allocated %.1f times per run, want 0", tile, a)
+			}
+			if a := testing.AllocsPerRun(10, func() { kern.AccumulateIn(targets, sources, box) }); a != 0 {
+				t.Errorf("tile %d: AccumulateIn allocated %.1f times per run, want 0", tile, a)
+			}
+
+			cl := NewCellList(targets, law.Cutoff, box)
+			if a := testing.AllocsPerRun(10, func() { cl.ForcesKernel(targets, kern, nil) }); a != 0 {
+				t.Errorf("tile %d: ForcesKernel allocated %.1f times per run, want 0", tile, a)
+			}
+
+			var soa vec.SoA
+			if a := testing.AllocsPerRun(10, func() {
+				kern.SweepStaged(0, 0, 0.5, 0.5, &soa, vec.TileCap)
+			}); a != 0 {
+				t.Errorf("tile %d: SweepStaged allocated %.1f times per run, want 0", tile, a)
+			}
+		}
+	}
+}
