@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obsdebug benchguard benchsmoke httpsmoke netsmoke benchdiff bench
+.PHONY: check build vet test race obsdebug benchguard benchsmoke httpsmoke netsmoke placesmoke benchdiff bench
 
-check: build vet test race obsdebug benchguard benchsmoke httpsmoke netsmoke benchdiff
+check: build vet test race obsdebug benchguard benchsmoke httpsmoke netsmoke placesmoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -26,14 +26,14 @@ test:
 # detector: for core and phys it is the mechanical check of those
 # contracts.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/core/... ./internal/phys/... ./internal/vec/...
+	$(GO) test -race ./internal/comm/... ./internal/obs/... ./internal/core/... ./internal/phys/... ./internal/vec/... ./internal/place/...
 
 # obsdebug builds enforce the Stats single-goroutine ownership contract
 # (pool workers never touch Stats; only the rank goroutine stamps).
 # internal/obs rides along so the live hub's mid-run serving is also
 # exercised under the debug assertions.
 obsdebug:
-	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/... ./internal/phys/... ./internal/vec/... ./internal/obs/...
+	$(GO) test -tags obsdebug ./internal/trace/... ./internal/comm/... ./internal/core/... ./internal/phys/... ./internal/vec/... ./internal/obs/... ./internal/place/...
 
 # Benchmark guard: the disabled observability path must not allocate
 # (asserted by TestDisabledPathAllocs) and the benchmark must run clean.
@@ -64,23 +64,34 @@ httpsmoke:
 netsmoke:
 	sh scripts/netsmoke.sh
 
+# Placement smoke gate: on the committed p=64 cutoff communication
+# matrix over the Balanced3D generic torus, the seeded PSO and
+# annealing searchers must beat the identity hop cost and reproduce
+# the committed golden objective values bitwise (the searcher
+# arithmetic is deterministic). Regenerate the golden file with
+# `go test ./internal/place/ -run TestPlaceGolden -update` after an
+# intentional searcher change.
+placesmoke:
+	$(GO) test -run TestPlaceGolden ./internal/place/
+
 # Perf-regression gate: run the quick bench (timesteps, transport,
-# recorder overhead) and diff the result against the committed baseline
-# with obsdiff, which exits 1 if any shared metric regresses past the
-# threshold. The threshold is deliberately loose — wall-clock metrics on
-# a loaded CI machine vary severalfold; the gate catches order-of-
-# magnitude regressions (a quadratic slip, a lost fast path), while
-# tighter human-reviewed comparisons use obsdiff directly on recordings.
+# placement search, recorder overhead) and diff the result against the
+# committed baseline with obsdiff, which exits 1 if any shared metric
+# regresses past the threshold. The threshold is deliberately loose —
+# wall-clock metrics on a loaded CI machine vary severalfold; the gate
+# catches order-of-magnitude regressions (a quadratic slip, a lost fast
+# path), while tighter human-reviewed comparisons use obsdiff directly
+# on recordings.
 benchdiff:
 	$(GO) run ./cmd/bench -quick -o /tmp/canbody_benchdiff.json
-	$(GO) run ./cmd/obsdiff -threshold 8 BENCH_PR8.json /tmp/canbody_benchdiff.json
+	$(GO) run ./cmd/obsdiff -threshold 8 BENCH_PR9.json /tmp/canbody_benchdiff.json
 
 # Full benchmark report: kernel microbenchmarks (generic vs specialized,
 # the tile-width × kernel grid, pooled worker widths), speedups,
 # end-to-end per-step wall times, the typed-vs-encoded transport
-# comparison, the rank×worker scaling grid, and the flight-recorder
-# overhead, written to BENCH_PR8.json. The obs micro-benchmarks ride
-# along.
+# comparison, the rank×worker scaling grid, the placement-searcher
+# timings, and the flight-recorder overhead, written to BENCH_PR9.json.
+# The obs micro-benchmarks ride along.
 bench:
-	$(GO) run ./cmd/bench -o BENCH_PR8.json
+	$(GO) run ./cmd/bench -o BENCH_PR9.json
 	$(GO) test -run NONE -bench . -benchtime 1s ./internal/obs/

@@ -43,6 +43,8 @@ func main() {
 		autotune   = flag.Bool("autotune", false, "pick c automatically instead of sweeping")
 		autotuneW  = flag.Bool("autotune-workers", false, "pick the worker-pool width automatically instead of sweeping")
 		autotuneT  = flag.Bool("autotune-tile", false, "pick the kernel tile width automatically instead of sweeping")
+		autotuneP  = flag.Bool("autotune-placement", false, "after each configuration, optimize the rank->node torus placement of its measured matrix and print the per-c improvement")
+		machine    = flag.String("machine", "generic", "machine model for -autotune-placement: generic, hopper, intrepid")
 		traceOut   = flag.String("trace-out", "", "write one Chrome trace per configuration, with .c<N> inserted before the extension")
 		metricsOut = flag.String("metrics-out", "", "write one metrics snapshot per configuration, with .c<N> inserted before the extension")
 		recordOut  = flag.String("record-out", "", "stream one per-step flight recording (JSON lines) per configuration, with .c<N> inserted before the extension; a .gz suffix gzip-compresses")
@@ -96,7 +98,7 @@ func main() {
 	}
 
 	cfg := nbody.Config{N: *n, P: *p, Workers: *workers, Tile: *tile, Dim: *dim, Cutoff: *cutoff, Lattice: *cutoff > 0, Proc: proc}
-	if *traceOut != "" || *metricsOut != "" || *httpAddr != "" || *recordOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *httpAddr != "" || *recordOut != "" || *autotuneP {
 		cfg.Observe = &nbody.ObserveOptions{}
 	}
 
@@ -176,7 +178,12 @@ func main() {
 
 	say("real-execution sweep: n=%d p=%d dim=%d cutoff=%g steps=%d\n",
 		*n, *p, *dim, *cutoff, *steps)
-	say("%-6s %14s %16s %14s\n", "c", "time/step", "S (msg events)", "W (bytes)")
+	if *autotuneP {
+		say("%-6s %14s %16s %14s %16s %16s %8s %8s\n", "c", "time/step", "S (msg events)", "W (bytes)",
+			"hopB identity", "hopB optimized", "better", "placer")
+	} else {
+		say("%-6s %14s %16s %14s\n", "c", "time/step", "S (msg events)", "W (bytes)")
+	}
 	for _, c := range cs {
 		run := cfg
 		run.C = c
@@ -208,7 +215,17 @@ func main() {
 		}
 		per := time.Since(start) / time.Duration(*steps)
 		rep := sim.Report()
-		say("c=%-4d %14v %16d %14d\n", c, per, rep.S()/int64(*steps), rep.W()/int64(*steps))
+		if *autotuneP {
+			pl, _, err := sim.OptimizePlacement(nbody.MachineName(*machine), 1)
+			if err != nil {
+				log.Fatalf("c=%d: %v", c, err)
+			}
+			say("c=%-4d %14v %16d %14d %16.0f %16.0f %7.1f%% %8s\n",
+				c, per, rep.S()/int64(*steps), rep.W()/int64(*steps),
+				pl.IdentityHopBytes, pl.HopBytes, 100*pl.Improvement(), pl.Algorithm)
+		} else {
+			say("c=%-4d %14v %16d %14d\n", c, per, rep.S()/int64(*steps), rep.W()/int64(*steps))
+		}
 		if *traceOut != "" {
 			path := perConfigPath(*traceOut, c)
 			if err := writeFile(path, sim.WriteTrace); err != nil {

@@ -1,0 +1,67 @@
+package bounds
+
+import "testing"
+
+// TestHopBytesLowerBoundOneCore pins the cores=1 degenerate case: no
+// two ranks can share a node, so every off-diagonal byte crosses at
+// least one link and the bound is the total off-diagonal traffic.
+func TestHopBytesLowerBoundOneCore(t *testing.T) {
+	traffic := [][]float64{
+		{9, 10, 0},
+		{0, 0, 20},
+		{5, 0, 0},
+	}
+	// Off-diagonal total = 10+20+5 = 35; the diagonal 9 is local.
+	if got := HopBytesLowerBound(traffic, 1); got != 35 {
+		t.Fatalf("bound = %g, want 35", got)
+	}
+}
+
+// TestHopBytesLowerBoundCoLocation checks the exemption budget: with 2
+// cores per node each rank may co-locate its single heaviest partner,
+// each zero-hop edge spending half its weight from both endpoints'
+// budgets.
+func TestHopBytesLowerBoundCoLocation(t *testing.T) {
+	// Two disjoint pairs: (0,1) weight 100, (2,3) weight 60. With 2
+	// cores per node both pairs can share nodes, so zero hop-bytes is
+	// achievable and the relaxation reaches it exactly:
+	// total 160 − ½(100+100+60+60) = 0.
+	traffic := [][]float64{
+		{0, 100, 0, 0},
+		{0, 0, 0, 0},
+		{0, 0, 0, 60},
+		{0, 0, 0, 0},
+	}
+	if got := HopBytesLowerBound(traffic, 2); got != 0 {
+		t.Fatalf("disjoint pairs bound = %g, want 0", got)
+	}
+
+	// A triangle of weight-10 edges with 2 cores per node: only one
+	// edge can be co-located, so the true optimum is 20 hop-bytes. The
+	// relaxation exempts each rank's heaviest incident edge —
+	// 30 − ½·(10+10+10) = 15 — a valid (if loose) lower bound.
+	tri := [][]float64{
+		{0, 10, 10},
+		{0, 0, 10},
+		{0, 0, 0},
+	}
+	got := HopBytesLowerBound(tri, 2)
+	if got != 15 {
+		t.Fatalf("triangle bound = %g, want 15", got)
+	}
+	if got > 20 {
+		t.Fatalf("triangle bound %g exceeds achievable optimum 20", got)
+	}
+}
+
+// TestHopBytesLowerBoundNeverNegative checks the clamp when the
+// exemption budget exceeds the traffic (many cores per node).
+func TestHopBytesLowerBoundNeverNegative(t *testing.T) {
+	traffic := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	if got := HopBytesLowerBound(traffic, 16); got != 0 {
+		t.Fatalf("bound = %g, want 0 (clamped)", got)
+	}
+}

@@ -31,9 +31,17 @@ type Network struct {
 
 // NewNetwork returns an idle network for p ranks on mach's torus.
 func NewNetwork(mach machine.Machine, p int) *Network {
+	return NewNetworkTorus(mach, mach.TorusFor(p))
+}
+
+// NewNetworkTorus returns an idle network on an explicit torus — the
+// entry point for callers (the placement optimizer) that replay
+// traffic on a partition shape chosen independently of the machine's
+// default Balanced3D sizing.
+func NewNetworkTorus(mach machine.Machine, tor topo.Torus) *Network {
 	return &Network{
 		mach:     mach,
-		tor:      mach.TorusFor(p),
+		tor:      tor,
 		linkFree: make(map[topo.Link]float64),
 	}
 }
@@ -85,6 +93,17 @@ func NewSim(mach machine.Machine, p int) *Sim {
 		clock:  make([]float64, p),
 		phase:  make(map[string]float64),
 		marker: make([]float64, p),
+	}
+}
+
+// NewSimTorus returns a simulator with one virtual clock per rank slot
+// of an explicit torus; see NewNetworkTorus.
+func NewSimTorus(mach machine.Machine, tor topo.Torus) *Sim {
+	return &Sim{
+		net:    NewNetworkTorus(mach, tor),
+		clock:  make([]float64, tor.Ranks()),
+		phase:  make(map[string]float64),
+		marker: make([]float64, tor.Ranks()),
 	}
 }
 

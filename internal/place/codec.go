@@ -1,0 +1,56 @@
+package place
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Traffic converts a frozen communication-matrix snapshot (the format
+// cmd/nbody -matrix-out writes and the live hub serves at
+// /matrix.json) into the p×p byte matrix the optimizer consumes: sent
+// bytes summed over every phase. Send-side counts are used — each
+// message is stamped once by its sender, so the sum is the exact
+// traffic without the double counting a sent+recv sum would add.
+func Traffic(snap obs.MatrixSnapshot) [][]float64 {
+	t := make([][]float64, snap.Ranks)
+	for i := range t {
+		t[i] = make([]float64, snap.Ranks)
+	}
+	for _, ph := range snap.Phases {
+		for src := 0; src < len(ph.SentBytes) && src < snap.Ranks; src++ {
+			for dst := 0; dst < len(ph.SentBytes[src]) && dst < snap.Ranks; dst++ {
+				t[src][dst] += float64(ph.SentBytes[src][dst])
+			}
+		}
+	}
+	return t
+}
+
+// LoadMatrix reads a matrix-snapshot JSON document from r and returns
+// the summed traffic matrix; see Traffic. This is the offline entry
+// point: a matrix saved by one run (cmd/nbody -matrix-out) feeds the
+// optimizer later without re-running the simulation.
+func LoadMatrix(r io.Reader) ([][]float64, error) {
+	var snap obs.MatrixSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("place: decoding matrix snapshot: %w", err)
+	}
+	if snap.Ranks <= 0 {
+		return nil, fmt.Errorf("place: matrix snapshot has no ranks")
+	}
+	return Traffic(snap), nil
+}
+
+// LoadMatrixFile opens and loads a matrix-snapshot JSON file.
+func LoadMatrixFile(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadMatrix(f)
+}

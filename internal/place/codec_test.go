@@ -1,0 +1,56 @@
+package place
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTrafficRoundTrip builds a live CommMatrix, snapshots it,
+// marshals the snapshot through JSON (the -matrix-out wire format),
+// loads it back with LoadMatrix, and checks the traffic matrix equals
+// the send-side bytes summed over phases — recv-side counts must not
+// double the traffic.
+func TestTrafficRoundTrip(t *testing.T) {
+	const phases, p = 3, 4
+	m := obs.NewCommMatrix(phases, p)
+	m.CountSend(0, 0, 1, 100)
+	m.CountRecv(0, 0, 1, 100) // same message, recv side: must not double
+	m.CountSend(1, 0, 1, 50)  // second phase, same pair: must sum
+	m.CountSend(2, 3, 2, 77)
+	m.CountSend(0, 2, 2, 9) // self-traffic is preserved by the codec
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(m.Snapshot(nil)); err != nil {
+		t.Fatal(err)
+	}
+	traffic, err := LoadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traffic) != p {
+		t.Fatalf("traffic dimension %d, want %d", len(traffic), p)
+	}
+	want := map[[2]int]float64{{0, 1}: 150, {3, 2}: 77, {2, 2}: 9}
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			if got := traffic[src][dst]; got != want[[2]int{src, dst}] {
+				t.Errorf("traffic[%d][%d] = %g, want %g", src, dst, got, want[[2]int{src, dst}])
+			}
+		}
+	}
+}
+
+// TestLoadMatrixErrors pins decode failures: malformed JSON and a
+// snapshot with no ranks.
+func TestLoadMatrixErrors(t *testing.T) {
+	if _, err := LoadMatrix(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := LoadMatrix(strings.NewReader(`{"ranks":0,"phases":[]}`)); err == nil {
+		t.Error("rankless snapshot accepted")
+	}
+}

@@ -1,0 +1,361 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Searcher is one placement-search strategy: given an evaluator and a
+// seed it returns a full slot permutation (rank → slot). Searchers are
+// deterministic under a fixed seed.
+type Searcher interface {
+	Name() string
+	Search(ev *Evaluator, seed uint64) []int
+}
+
+// Searchers returns the standard searcher set in evaluation order:
+// the greedy constructor, the swap-sequence PSO, and the annealing
+// refiner (seeded from greedy).
+func Searchers() []Searcher {
+	return []Searcher{Greedy{}, PSO{}, Anneal{}}
+}
+
+// refine runs deterministic best-improvement local search on perm:
+// full sweeps over every rank pair, applying the single best improving
+// swap per pair visit, until a sweep finds no improvement. With the
+// O(deg) incremental delta this is cheap even at 1k ranks, and it
+// leaves every searcher's answer at a pairwise-swap local optimum —
+// the standard finishing move of QAP heuristics. Returns the summed
+// improvement (≤ 0).
+func refine(ev *Evaluator, perm []int) float64 {
+	n := ev.ranks
+	var total float64
+	for improved := true; improved; {
+		improved = false
+		for a := 0; a < n-1; a++ {
+			for b := a + 1; b < n; b++ {
+				if d := ev.SwapDelta(perm, a, b); d < -1e-12 {
+					Swap(perm, nil, a, b)
+					total += d
+					improved = true
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Greedy is the constructive seed: edges in descending traffic order,
+// each unplaced endpoint dropped onto the free slot nearest its
+// already-placed partner (the first edge anchors at slot 0 — every
+// torus slot is equivalent by symmetry). Leftover ranks fill leftover
+// slots in index order. Deterministic; the seed is unused.
+type Greedy struct{}
+
+// Name implements Searcher.
+func (Greedy) Name() string { return "greedy" }
+
+// Search implements Searcher.
+func (Greedy) Search(ev *Evaluator, _ uint64) []int {
+	perm := make([]int, ev.ranks)
+	for i := range perm {
+		perm[i] = -1
+	}
+	used := make([]bool, ev.ranks)
+	// nearestFree returns the free slot with the fewest hops to slot
+	// s, ties broken by slot index.
+	nearestFree := func(s int) int {
+		best, bestH := -1, int32(math.MaxInt32)
+		for t := 0; t < ev.ranks; t++ {
+			if used[t] {
+				continue
+			}
+			if h := ev.slotHops(s, t); h < bestH {
+				best, bestH = t, h
+			}
+		}
+		return best
+	}
+	place := func(r, s int) {
+		perm[r] = s
+		used[s] = true
+	}
+	for _, e := range ev.sortedEdges() {
+		pa, pb := perm[e.a] >= 0, perm[e.b] >= 0
+		switch {
+		case pa && pb:
+			continue
+		case !pa && !pb:
+			// Anchor the heavier component first: put a on the first
+			// free slot, b as close to it as possible.
+			s := 0
+			for used[s] {
+				s++
+			}
+			place(e.a, s)
+			place(e.b, nearestFree(s))
+		case pa:
+			place(e.b, nearestFree(perm[e.a]))
+		default:
+			place(e.a, nearestFree(perm[e.b]))
+		}
+	}
+	next := 0
+	for r := range perm {
+		if perm[r] >= 0 {
+			continue
+		}
+		for used[next] {
+			next++
+		}
+		place(r, next)
+	}
+	refine(ev, perm)
+	return perm
+}
+
+// PSO is the swap-sequence particle-swarm optimizer of the MPNN-Ptr
+// line: particles are permutations, and the "velocity" toward the
+// personal and global bests is the swap sequence transforming one
+// permutation into the other, each swap applied with a fixed
+// probability. One particle starts from the greedy constructor so the
+// swarm refines a good seed instead of rediscovering it.
+type PSO struct {
+	// Particles is the swarm size (default 16).
+	Particles int
+	// Iters is the number of swarm iterations (default 120).
+	Iters int
+	// PersonalProb and GlobalProb are the per-position probabilities of
+	// applying the swap that aligns a particle with its personal /
+	// global best (defaults 0.3 and 0.5, the Sahu et al. shape).
+	PersonalProb float64
+	// GlobalProb see PersonalProb.
+	GlobalProb float64
+	// MutateProb is the per-iteration probability of one random
+	// exploratory swap per particle (default 0.2).
+	MutateProb float64
+}
+
+// Name implements Searcher.
+func (PSO) Name() string { return "pso" }
+
+// withDefaults fills zero fields.
+func (o PSO) withDefaults() PSO {
+	if o.Particles == 0 {
+		o.Particles = 16
+	}
+	if o.Iters == 0 {
+		o.Iters = 120
+	}
+	if o.PersonalProb == 0 {
+		o.PersonalProb = 0.3
+	}
+	if o.GlobalProb == 0 {
+		o.GlobalProb = 0.5
+	}
+	if o.MutateProb == 0 {
+		o.MutateProb = 0.2
+	}
+	return o
+}
+
+// particle is one swarm member: its permutation, the slot→rank
+// inverse (so "align position r with best[r]" finds the swap partner
+// in O(1)), and its personal best.
+type particle struct {
+	perm, inv []int
+	fit       float64
+	best      []int
+	bestFit   float64
+}
+
+// Search implements Searcher.
+func (o PSO) Search(ev *Evaluator, seed uint64) []int {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	n := ev.ranks
+
+	swarm := make([]particle, o.Particles)
+	for i := range swarm {
+		var perm []int
+		if i == 0 {
+			perm = Greedy{}.Search(ev, seed)
+		} else {
+			perm = rng.Perm(n)
+		}
+		swarm[i] = particle{
+			perm: perm,
+			inv:  Inverse(perm),
+			fit:  ev.Cost(perm),
+		}
+		swarm[i].best = append([]int(nil), perm...)
+		swarm[i].bestFit = swarm[i].fit
+	}
+	gbest := append([]int(nil), swarm[0].best...)
+	gbestFit := swarm[0].bestFit
+	for i := 1; i < len(swarm); i++ {
+		if swarm[i].bestFit < gbestFit {
+			copy(gbest, swarm[i].best)
+			gbestFit = swarm[i].bestFit
+		}
+	}
+
+	// align applies, with the given probability per position, the swap
+	// that makes pt.perm agree with target at rank r, tracking fitness
+	// incrementally via SwapDelta.
+	align := func(pt *particle, target []int, prob float64) {
+		for r := 0; r < n; r++ {
+			if pt.perm[r] == target[r] || rng.Float64() >= prob {
+				continue
+			}
+			b := pt.inv[target[r]] // rank currently holding the slot r wants
+			pt.fit += ev.SwapDelta(pt.perm, r, b)
+			Swap(pt.perm, pt.inv, r, b)
+		}
+	}
+
+	for it := 0; it < o.Iters; it++ {
+		for i := range swarm {
+			pt := &swarm[i]
+			align(pt, pt.best, o.PersonalProb)
+			align(pt, gbest, o.GlobalProb)
+			if rng.Float64() < o.MutateProb {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					pt.fit += ev.SwapDelta(pt.perm, a, b)
+					Swap(pt.perm, pt.inv, a, b)
+				}
+			}
+			if pt.fit < pt.bestFit {
+				copy(pt.best, pt.perm)
+				pt.bestFit = pt.fit
+				if pt.fit < gbestFit {
+					copy(gbest, pt.perm)
+					gbestFit = pt.fit
+				}
+			}
+		}
+	}
+	refine(ev, gbest)
+	return gbest
+}
+
+// Anneal is the simulated-annealing refiner: each restart proposes
+// random slot swaps, accepting improvements always and regressions
+// with the Metropolis probability under a geometrically cooling
+// temperature, then polishes its best state with local search. The
+// first restart starts from the greedy constructor, later ones from
+// random permutations — diversity matters more than schedule length
+// on torus-placement landscapes. The temperature scale is set
+// relative to the starting cost so the schedule transfers across
+// matrix magnitudes.
+type Anneal struct {
+	// Iters is the number of proposed swaps per restart (default
+	// 15000·ranks, capped at 1M).
+	Iters int
+	// Restarts is the number of independent annealing runs; the best
+	// final state wins (default 4).
+	Restarts int
+	// T0Frac and T1Frac set the initial and final temperatures as
+	// fractions of the per-edge mean cost (defaults 2.0 and 0.01).
+	T0Frac float64
+	// T1Frac see T0Frac.
+	T1Frac float64
+}
+
+// Name implements Searcher.
+func (Anneal) Name() string { return "anneal" }
+
+// withDefaults fills zero fields for a given problem size.
+func (o Anneal) withDefaults(ev *Evaluator) Anneal {
+	if o.Iters == 0 {
+		o.Iters = 15000 * ev.ranks
+		if o.Iters > 1_000_000 {
+			o.Iters = 1_000_000
+		}
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	if o.T0Frac == 0 {
+		o.T0Frac = 2.0
+	}
+	if o.T1Frac == 0 {
+		o.T1Frac = 0.01
+	}
+	return o
+}
+
+// Search implements Searcher.
+func (o Anneal) Search(ev *Evaluator, seed uint64) []int {
+	o = o.withDefaults(ev)
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x5eed))
+	n := ev.ranks
+
+	var globalBest []int
+	globalCost := math.Inf(1)
+	for restart := 0; restart < o.Restarts; restart++ {
+		var perm []int
+		kicked := false
+		switch {
+		case restart == 0:
+			perm = Greedy{}.Search(ev, seed)
+		case restart%2 == 1:
+			// Iterated local search: kick the incumbent with n/4 random
+			// swaps and re-anneal at reduced temperature, so half the
+			// restarts exploit the best basin found so far.
+			perm = append([]int(nil), globalBest...)
+			for k := 0; k < n/4+1; k++ {
+				a, b := rng.Intn(n), rng.Intn(n)
+				perm[a], perm[b] = perm[b], perm[a]
+			}
+			kicked = true
+		default:
+			perm = rng.Perm(n)
+		}
+		inv := Inverse(perm)
+		cur := ev.Cost(perm)
+		best := append([]int(nil), perm...)
+		bestCost := cur
+
+		// Temperature relative to the mean per-edge cost of the start
+		// point; a costless matrix has nothing to anneal.
+		unit := cur / float64(maxInt(1, ev.Edges()))
+		if unit > 0 {
+			t0, t1 := o.T0Frac*unit, o.T1Frac*unit
+			if kicked {
+				t0 /= 4
+			}
+			cool := math.Pow(t1/t0, 1/float64(maxInt(1, o.Iters-1)))
+			temp := t0
+			for it := 0; it < o.Iters; it++ {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					d := ev.SwapDelta(perm, a, b)
+					if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+						cur += d
+						Swap(perm, inv, a, b)
+						if cur < bestCost {
+							bestCost = cur
+							copy(best, perm)
+						}
+					}
+				}
+				temp *= cool
+			}
+		}
+		bestCost += refine(ev, best)
+		if bestCost < globalCost {
+			globalCost = bestCost
+			globalBest = best
+		}
+	}
+	return globalBest
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

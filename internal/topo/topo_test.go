@@ -209,6 +209,34 @@ func TestTorusRouteEndsAtDestination(t *testing.T) {
 	}
 }
 
+// TestBalanced3DPinned pins the exact factorization of the degenerate
+// and common cases: exact balanced products when one exists (12, 64,
+// 96), rounded-up cubes for primes and other skinny-only counts whose
+// sole exact factorization is 1×1×p (2 keeps 1×1×2 — still within the
+// skew cap — while 7 rounds up to 2×2×2 instead of degenerating to
+// 1×1×7).
+func TestBalanced3DPinned(t *testing.T) {
+	for _, tc := range []struct {
+		p, cores, x, y, z int
+	}{
+		{1, 1, 1, 1, 1},
+		{2, 1, 1, 1, 2},
+		{7, 1, 2, 2, 2},
+		{12, 1, 2, 2, 3},
+		{64, 1, 4, 4, 4},
+		{96, 1, 4, 4, 6},
+		{7, 2, 1, 2, 2},  // 4 nodes
+		{12, 4, 1, 1, 3}, // 3 nodes
+		{96, 4, 2, 3, 4}, // 24 nodes
+	} {
+		x, y, z := Balanced3D(tc.p, tc.cores)
+		if x != tc.x || y != tc.y || z != tc.z {
+			t.Errorf("Balanced3D(%d,%d) = %d×%d×%d, want %d×%d×%d",
+				tc.p, tc.cores, x, y, z, tc.x, tc.y, tc.z)
+		}
+	}
+}
+
 func TestBalanced3D(t *testing.T) {
 	for _, tc := range []struct{ p, cores int }{
 		{24576, 24}, {32768, 4}, {1, 1}, {7, 2},
@@ -229,6 +257,74 @@ func TestBalanced3D(t *testing.T) {
 		}
 		if max > 3*min+1 {
 			t.Errorf("Balanced3D(%d,%d) = %d×%d×%d too skewed", tc.p, tc.cores, x, y, z)
+		}
+	}
+}
+
+// TestTorusWraparound pins the shortest-path wrap behavior of Hops and
+// Route on odd and even ring lengths: on an odd ring every delta has a
+// unique shortest direction (⌊n/2⌋ hops at most), while on an even
+// ring the n/2 delta is a tie that must resolve deterministically to
+// the positive direction — and in both cases Route must walk exactly
+// Hops links and end at the destination.
+func TestTorusWraparound(t *testing.T) {
+	// Odd dimension: 5-ring. From 0 to 3 the short way is backward
+	// (2 hops), never forward (3 hops).
+	odd, _ := NewTorus(5, 1, 1, 1)
+	if h := odd.Hops(0, 3); h != 2 {
+		t.Errorf("5-ring hops 0→3 = %d, want 2 (wraparound)", h)
+	}
+	if h := odd.Hops(0, 2); h != 2 {
+		t.Errorf("5-ring hops 0→2 = %d, want 2 (direct)", h)
+	}
+	r := odd.Route(0, 3)
+	if len(r) != 2 || r[0].Dir != -1 {
+		t.Errorf("5-ring route 0→3 = %+v, want 2 backward links", r)
+	}
+
+	// Even dimension: 4-ring. The 0→2 delta is exactly n/2 — both
+	// directions tie at 2 hops; the tie resolves to the positive
+	// direction (torusDelta prefers +).
+	even, _ := NewTorus(4, 1, 1, 1)
+	if h := even.Hops(0, 2); h != 2 {
+		t.Errorf("4-ring hops 0→2 = %d, want 2", h)
+	}
+	r = even.Route(0, 2)
+	if len(r) != 2 || r[0].Dir != 1 || r[1].Dir != 1 {
+		t.Errorf("4-ring route 0→2 = %+v, want 2 positive links (tie prefers +)", r)
+	}
+
+	// Mixed odd dimensions: every pair's route length must equal its
+	// hop count, stay within the per-dimension ⌊n/2⌋ caps, and land on
+	// the destination node.
+	tor, _ := NewTorus(3, 5, 7, 1)
+	maxHops := 3/2 + 5/2 + 7/2
+	for a := 0; a < tor.Ranks(); a += 3 {
+		for b := 0; b < tor.Ranks(); b += 2 {
+			h := tor.Hops(a, b)
+			if h > maxHops {
+				t.Fatalf("hops %d→%d = %d exceeds diameter %d", a, b, h, maxHops)
+			}
+			if h != tor.Hops(b, a) {
+				t.Fatalf("hops asymmetric for %d,%d", a, b)
+			}
+			route := tor.Route(a, b)
+			if len(route) != h {
+				t.Fatalf("route length %d != hops %d for %d→%d", len(route), h, a, b)
+			}
+			cur := tor.NodeOf(a)
+			for _, l := range route {
+				if l.From != cur {
+					t.Fatalf("route discontinuous at %d→%d", a, b)
+				}
+				x, y, z := tor.Coord(cur)
+				c := [3]int{x, y, z}
+				c[l.Dim] = Mod(c[l.Dim]+l.Dir, tor.Dims[l.Dim])
+				cur = tor.Node(c[0], c[1], c[2])
+			}
+			if cur != tor.NodeOf(b) {
+				t.Fatalf("route from %d does not reach %d", a, b)
+			}
 		}
 	}
 }

@@ -127,24 +127,39 @@ func (t Torus) Diameter() int {
 	return d
 }
 
-// Balanced3D returns torus dimensions (x, y, z) with x·y·z·coresPerNode
-// ≥ p, choosing sides as close to cubic as possible. It is how the
-// machine models size a partition for a run of p ranks.
+// Balanced3D returns torus dimensions (x ≤ y ≤ z) with
+// x·y·z·coresPerNode ≥ p, choosing sides as close to cubic as
+// possible. It is how the machine models size a partition for a run
+// of p ranks.
+//
+// The search minimizes the node count subject to a skew cap
+// (z ≤ 2·x+1), then breaks product ties toward the smallest z−x:
+// exact factorizations win when a balanced one exists (96 → 4×4×6,
+// 12 → 2×2×3), while degenerate ones — prime or otherwise
+// skinny-only p, whose sole exact factorization is 1×1×p — round up
+// to the nearest balanced box instead (7 → 2×2×2).
 func Balanced3D(p, coresPerNode int) (x, y, z int) {
 	nodes := (p + coresPerNode - 1) / coresPerNode
 	if nodes < 1 {
 		nodes = 1
 	}
-	x, y, z = 1, 1, 1
-	for x*y*z < nodes {
-		// Grow the smallest dimension; deterministic near-cubic growth.
-		switch {
-		case x <= y && x <= z:
-			x++
-		case y <= z:
-			y++
-		default:
-			z++
+	bestProd, bestSkew := -1, 0
+	for cx := 1; cx*cx*cx <= 8*nodes; cx++ {
+		for cy := cx; cx*cy*cy <= 8*nodes; cy++ {
+			cz := (nodes + cx*cy - 1) / (cx * cy)
+			if cz < cy {
+				cz = cy
+			}
+			if cz > 2*cx+1 {
+				continue
+			}
+			prod, skew := cx*cy*cz, cz-cx
+			if bestProd < 0 || prod < bestProd ||
+				(prod == bestProd && (skew < bestSkew ||
+					(skew == bestSkew && (cx < x || (cx == x && cy < y))))) {
+				x, y, z = cx, cy, cz
+				bestProd, bestSkew = prod, skew
+			}
 		}
 	}
 	return
